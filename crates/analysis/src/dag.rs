@@ -1,0 +1,421 @@
+//! Dependency DAGs, antichain decompositions and speedup bounds (§4.3, §4.6).
+//!
+//! The paper reduces parallel dynamic programming to evaluating the
+//! dependency DAG of the recurrence (Eq. 6): subproblems in an antichain of
+//! the dependency poset are independent and can be computed simultaneously,
+//! and by the dual of Dilworth's theorem (Mirsky's theorem) the poset can be
+//! partitioned into exactly `L` antichains where `L` is the length of the
+//! longest chain.  [`Dag::levels`] computes that partition (cell `v` goes to
+//! level = longest path ending at `v`), [`Dag::longest_chain`] the critical
+//! path, and [`Dag::max_speedup`] the Brent-style bound
+//! `speedup ≤ work / max(chain, work/p)` that §4.6 appeals to.
+
+/// A directed acyclic graph over vertices `0..n`, stored as forward
+/// adjacency lists.  Edge `u → v` means "`v` depends on `u`", i.e. `u` must
+/// be computed before `v` (the *reversed* dependency graph of §4.4, which is
+/// the order of computation).
+#[derive(Debug, Clone, Default)]
+pub struct Dag {
+    adj: Vec<Vec<usize>>,
+    edge_count: usize,
+}
+
+/// The antichain (Mirsky) decomposition of a DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelDecomposition {
+    /// `level[v]` = length of the longest path ending at `v` (0-based).
+    pub level: Vec<usize>,
+    /// The vertices of each level; level `k` is an antichain.
+    pub antichains: Vec<Vec<usize>>,
+}
+
+impl Dag {
+    /// Create a DAG with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Dag {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// `true` when the DAG has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Add the edge `u → v` ("v depends on u").
+    ///
+    /// Panics when either endpoint is out of range or on a self-loop.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.len() && v < self.len(), "edge endpoint out of range");
+        assert_ne!(u, v, "self-loops are not allowed in a dependency DAG");
+        self.adj[u].push(v);
+        self.edge_count += 1;
+    }
+
+    /// Successors of `u` (vertices that depend on `u`).
+    pub fn successors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// In-degree of every vertex (number of dependencies).
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.len()];
+        for targets in &self.adj {
+            for &v in targets {
+                deg[v] += 1;
+            }
+        }
+        deg
+    }
+
+    /// Kahn topological sort; `None` when the graph contains a cycle.
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let mut deg = self.in_degrees();
+        let mut queue: std::collections::VecDeque<usize> = deg
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(v, _)| v)
+            .collect();
+        let mut order = Vec::with_capacity(self.len());
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &self.adj[u] {
+                deg[v] -= 1;
+                if deg[v] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        if order.len() == self.len() {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// `true` when the graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_some()
+    }
+
+    /// The Mirsky antichain decomposition: vertex `v` is assigned to the
+    /// level equal to the length of the longest path ending at `v`.
+    ///
+    /// Panics if the graph contains a cycle.
+    pub fn levels(&self) -> LevelDecomposition {
+        let order = self
+            .topological_order()
+            .expect("levels() requires an acyclic graph");
+        let mut level = vec![0usize; self.len()];
+        for &u in &order {
+            for &v in &self.adj[u] {
+                level[v] = level[v].max(level[u] + 1);
+            }
+        }
+        let height = level.iter().copied().max().map_or(0, |m| m + 1);
+        let mut antichains = vec![Vec::new(); height];
+        for (v, &l) in level.iter().enumerate() {
+            antichains[l].push(v);
+        }
+        LevelDecomposition { level, antichains }
+    }
+
+    /// Length of the longest chain (number of vertices on the longest path).
+    /// Zero for an empty graph.
+    pub fn longest_chain(&self) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        self.levels().antichains.len()
+    }
+
+    /// Total work assuming unit cost per vertex.
+    pub fn work(&self) -> usize {
+        self.len()
+    }
+
+    /// Greedy (Brent) bound on the parallel time with `p` processors and unit
+    /// vertex costs: processing the antichains level by level takes
+    /// `Σ_k ⌈|A_k| / p⌉` steps.
+    pub fn greedy_schedule_length(&self, p: usize) -> usize {
+        assert!(p >= 1, "at least one processor is required");
+        self.levels()
+            .antichains
+            .iter()
+            .map(|a| a.len().div_ceil(p))
+            .sum()
+    }
+
+    /// Upper bound on the speedup achievable with `p` processors:
+    /// `work / max(longest_chain, work / p)`.
+    pub fn max_speedup(&self, p: usize) -> f64 {
+        if self.is_empty() {
+            return 1.0;
+        }
+        let work = self.work() as f64;
+        let chain = self.longest_chain() as f64;
+        work / chain.max(work / p as f64)
+    }
+
+    /// Average antichain width `work / longest_chain`, the asymptotic ceiling
+    /// on useful parallelism that §4.6 discusses.
+    pub fn average_width(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.work() as f64 / self.longest_chain() as f64
+    }
+
+    /// Maximum antichain width over all levels of the decomposition.
+    pub fn max_width(&self) -> usize {
+        self.levels()
+            .antichains
+            .iter()
+            .map(|a| a.len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl LevelDecomposition {
+    /// Number of antichains (= longest chain length, by Mirsky's theorem).
+    pub fn height(&self) -> usize {
+        self.antichains.len()
+    }
+
+    /// Check that no level contains two comparable elements, i.e. that every
+    /// level really is an antichain with respect to `dag`.
+    pub fn validate(&self, dag: &Dag) -> bool {
+        for (u, &lu) in self.level.iter().enumerate() {
+            for &v in dag.successors(u) {
+                if self.level[v] == lu {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Build the dependency DAG of a rectangular 2-D dynamic-programming table
+/// where cell `(i, j)` depends on its north, west and north-west neighbours
+/// (the edit-distance / LCS pattern).  Returned vertex ids are `i * cols + j`.
+pub fn grid_dag(rows: usize, cols: usize) -> Dag {
+    let mut dag = Dag::new(rows * cols);
+    let id = |i: usize, j: usize| i * cols + j;
+    for i in 0..rows {
+        for j in 0..cols {
+            if i + 1 < rows {
+                dag.add_edge(id(i, j), id(i + 1, j));
+            }
+            if j + 1 < cols {
+                dag.add_edge(id(i, j), id(i, j + 1));
+            }
+            if i + 1 < rows && j + 1 < cols {
+                dag.add_edge(id(i, j), id(i + 1, j + 1));
+            }
+        }
+    }
+    dag
+}
+
+/// Build the dependency DAG of a one-dimensional chain DP of length `n`
+/// (cell `i+1` depends on cell `i`) — the paper's example of a DAG that is a
+/// path and therefore admits **no** speedup (§4.3).
+pub fn chain_dag(n: usize) -> Dag {
+    let mut dag = Dag::new(n);
+    for i in 1..n {
+        dag.add_edge(i - 1, i);
+    }
+    dag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_dag() {
+        let dag = Dag::new(0);
+        assert!(dag.is_empty());
+        assert_eq!(dag.longest_chain(), 0);
+        assert_eq!(dag.max_speedup(4), 1.0);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let dag = Dag::new(1);
+        assert_eq!(dag.longest_chain(), 1);
+        assert_eq!(dag.greedy_schedule_length(4), 1);
+        assert_eq!(dag.max_width(), 1);
+    }
+
+    #[test]
+    fn chain_has_no_parallelism() {
+        let dag = chain_dag(100);
+        assert_eq!(dag.longest_chain(), 100);
+        assert_eq!(dag.max_width(), 1);
+        assert!((dag.max_speedup(8) - 1.0).abs() < 1e-12);
+        assert_eq!(dag.greedy_schedule_length(8), 100);
+    }
+
+    #[test]
+    fn independent_vertices_are_one_antichain() {
+        let dag = Dag::new(64);
+        assert_eq!(dag.longest_chain(), 1);
+        assert_eq!(dag.max_width(), 64);
+        assert!((dag.max_speedup(8) - 8.0).abs() < 1e-12);
+        assert_eq!(dag.greedy_schedule_length(8), 8);
+    }
+
+    #[test]
+    fn diamond_dag_levels() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut dag = Dag::new(4);
+        dag.add_edge(0, 1);
+        dag.add_edge(0, 2);
+        dag.add_edge(1, 3);
+        dag.add_edge(2, 3);
+        let levels = dag.levels();
+        assert_eq!(levels.level, vec![0, 1, 1, 2]);
+        assert_eq!(levels.antichains, vec![vec![0], vec![1, 2], vec![3]]);
+        assert!(levels.validate(&dag));
+        assert_eq!(dag.longest_chain(), 3);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let dag = grid_dag(4, 5);
+        let order = dag.topological_order().unwrap();
+        let mut pos = vec![0usize; dag.len()];
+        for (idx, &v) in order.iter().enumerate() {
+            pos[v] = idx;
+        }
+        for u in 0..dag.len() {
+            for &v in dag.successors(u) {
+                assert!(pos[u] < pos[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut dag = Dag::new(3);
+        dag.add_edge(0, 1);
+        dag.add_edge(1, 2);
+        dag.add_edge(2, 0);
+        assert!(!dag.is_acyclic());
+        assert!(dag.topological_order().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut dag = Dag::new(2);
+        dag.add_edge(1, 1);
+    }
+
+    #[test]
+    fn grid_dag_diagonal_structure() {
+        // An m×m grid with N/W/NW dependencies has longest chain 2m − 1 …
+        let dag = grid_dag(8, 8);
+        assert_eq!(dag.longest_chain(), 15);
+        // … and its widest antichain is the main anti-diagonal.
+        assert_eq!(dag.max_width(), 8);
+        assert!(dag.levels().validate(&dag));
+    }
+
+    #[test]
+    fn grid_dag_speedup_grows_with_p_up_to_width() {
+        let dag = grid_dag(64, 64);
+        let s2 = dag.max_speedup(2);
+        let s4 = dag.max_speedup(4);
+        let s8 = dag.max_speedup(8);
+        assert!(s2 > 1.9 && s2 <= 2.0);
+        assert!(s4 > 3.8 && s4 <= 4.0);
+        assert!(s8 > 7.0 && s8 <= 8.0);
+    }
+
+    #[test]
+    fn mirsky_height_equals_longest_chain_on_grid() {
+        for (r, c) in [(1, 1), (3, 5), (6, 2), (10, 10)] {
+            let dag = grid_dag(r, c);
+            assert_eq!(dag.levels().height(), r + c - 1);
+        }
+    }
+
+    #[test]
+    fn greedy_schedule_bounded_by_brent() {
+        let dag = grid_dag(32, 32);
+        for p in [1usize, 2, 4, 8, 16] {
+            let greedy = dag.greedy_schedule_length(p);
+            let work = dag.work();
+            let chain = dag.longest_chain();
+            // Brent: greedy ≤ work/p + chain.
+            assert!(greedy <= work.div_ceil(p) + chain);
+            assert!(greedy >= chain);
+            assert!(greedy >= work.div_ceil(p));
+        }
+    }
+
+    fn arbitrary_dag(n: usize, edges: &[(usize, usize)]) -> Dag {
+        let mut dag = Dag::new(n);
+        for &(u, v) in edges {
+            let (u, v) = (u % n, v % n);
+            // Orient edges from smaller to larger index: always acyclic.
+            if u < v {
+                dag.add_edge(u, v);
+            } else if v < u {
+                dag.add_edge(v, u);
+            }
+        }
+        dag
+    }
+
+    proptest! {
+        #[test]
+        fn random_dags_have_valid_level_decompositions(
+            n in 1usize..60,
+            edges in proptest::collection::vec((0usize..60, 0usize..60), 0..200)
+        ) {
+            let dag = arbitrary_dag(n, &edges);
+            prop_assert!(dag.is_acyclic());
+            let levels = dag.levels();
+            prop_assert!(levels.validate(&dag));
+            // Every vertex appears in exactly one antichain.
+            let total: usize = levels.antichains.iter().map(|a| a.len()).sum();
+            prop_assert_eq!(total, n);
+            // Mirsky: number of antichains equals the longest chain.
+            prop_assert_eq!(levels.height(), dag.longest_chain());
+        }
+
+        #[test]
+        fn speedup_bounds_are_consistent(
+            n in 1usize..60,
+            edges in proptest::collection::vec((0usize..60, 0usize..60), 0..200),
+            p in 1usize..16
+        ) {
+            let dag = arbitrary_dag(n, &edges);
+            let s = dag.max_speedup(p);
+            prop_assert!(s >= 1.0 - 1e-9);
+            prop_assert!(s <= p as f64 + 1e-9);
+            prop_assert!(s <= dag.average_width() + 1e-9);
+            let greedy = dag.greedy_schedule_length(p);
+            prop_assert!(greedy >= dag.longest_chain());
+            prop_assert!(greedy <= dag.work().div_ceil(p) + dag.longest_chain());
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Symbolic growth functions of the form `c · n^k · (log₂ n)^j`.
+//!
+//! Every driving function the Master theorem covers (and every bound it
+//! produces) has this shape, so a tiny symbolic representation is enough to
+//! classify recurrences, evaluate them numerically and print the asymptotic
+//! bounds of Theorem 1 next to measured numbers.
+
+use std::fmt;
+
+/// A growth function `c · n^k · (log₂ n)^j`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Growth {
+    /// Constant factor `c` (only used for numeric evaluation, never for
+    /// asymptotic comparisons).
+    pub coefficient: f64,
+    /// Polynomial exponent `k`.
+    pub exponent: f64,
+    /// Power of the logarithm `j`.
+    pub log_power: u32,
+}
+
+impl Growth {
+    /// `c · n^k · log^j n`.
+    pub fn new(coefficient: f64, exponent: f64, log_power: u32) -> Self {
+        assert!(
+            coefficient >= 0.0,
+            "growth functions must be nonnegative (got coefficient {coefficient})"
+        );
+        Growth {
+            coefficient,
+            exponent,
+            log_power,
+        }
+    }
+
+    /// The constant function `c`.
+    pub fn constant(c: f64) -> Self {
+        Growth::new(c, 0.0, 0)
+    }
+
+    /// The linear function `c · n`.
+    pub fn linear(c: f64) -> Self {
+        Growth::new(c, 1.0, 0)
+    }
+
+    /// `c · n^k`.
+    pub fn polynomial(c: f64, k: f64) -> Self {
+        Growth::new(c, k, 0)
+    }
+
+    /// `c · n log n`.
+    pub fn n_log_n(c: f64) -> Self {
+        Growth::new(c, 1.0, 1)
+    }
+
+    /// Evaluate the function at `n` (with `log 0 = log 1 = 0` conventions so
+    /// small inputs stay finite).
+    pub fn eval(&self, n: f64) -> f64 {
+        if n <= 0.0 {
+            return 0.0;
+        }
+        let log = if n <= 1.0 { 0.0 } else { n.log2() };
+        self.coefficient * n.powf(self.exponent) * log.powi(self.log_power as i32)
+    }
+
+    /// Multiply by a constant.
+    pub fn scale(&self, factor: f64) -> Self {
+        Growth::new(self.coefficient * factor, self.exponent, self.log_power)
+    }
+
+    /// Multiply by one extra `log n` factor (used by Master theorem case 2).
+    pub fn times_log(&self) -> Self {
+        Growth::new(self.coefficient, self.exponent, self.log_power + 1)
+    }
+
+    /// Asymptotic comparison against `n^k`: returns `Ordering::Less` when this
+    /// function is `O(n^{k−ε})` for some `ε > 0`, `Equal` when it is
+    /// `Θ(n^k · polylog)` with the *same* polynomial exponent, `Greater` when
+    /// it is `Ω(n^{k+ε})`.
+    pub fn compare_exponent(&self, k: f64) -> std::cmp::Ordering {
+        const EPS: f64 = 1e-9;
+        if self.exponent < k - EPS {
+            std::cmp::Ordering::Less
+        } else if self.exponent > k + EPS {
+            std::cmp::Ordering::Greater
+        } else {
+            std::cmp::Ordering::Equal
+        }
+    }
+
+    /// `true` when the function is exactly `Θ(n^k)` (no extra log factors).
+    pub fn is_theta_of_poly(&self, k: f64) -> bool {
+        self.compare_exponent(k) == std::cmp::Ordering::Equal && self.log_power == 0
+    }
+}
+
+impl fmt::Display for Growth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if (self.coefficient - 1.0).abs() > 1e-12 {
+            parts.push(format!("{}", self.coefficient));
+        }
+        if self.exponent.abs() > 1e-12 {
+            if (self.exponent - 1.0).abs() < 1e-12 {
+                parts.push("n".to_string());
+            } else {
+                parts.push(format!("n^{}", self.exponent));
+            }
+        }
+        if self.log_power == 1 {
+            parts.push("log n".to_string());
+        } else if self.log_power > 1 {
+            parts.push(format!("log^{} n", self.log_power));
+        }
+        if parts.is_empty() {
+            parts.push("1".to_string());
+        }
+        write!(f, "{}", parts.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn eval_constant_linear_quadratic() {
+        assert_eq!(Growth::constant(3.0).eval(1000.0), 3.0);
+        assert_eq!(Growth::linear(1.0).eval(64.0), 64.0);
+        assert_eq!(Growth::polynomial(1.0, 2.0).eval(10.0), 100.0);
+    }
+
+    #[test]
+    fn eval_n_log_n() {
+        let f = Growth::n_log_n(1.0);
+        assert!((f.eval(8.0) - 24.0).abs() < 1e-9);
+        assert_eq!(f.eval(1.0), 0.0);
+        assert_eq!(f.eval(0.0), 0.0);
+    }
+
+    #[test]
+    fn eval_handles_nonpositive_inputs() {
+        let f = Growth::polynomial(2.0, 1.5);
+        assert_eq!(f.eval(0.0), 0.0);
+        assert_eq!(f.eval(-5.0), 0.0);
+    }
+
+    #[test]
+    fn compare_exponent_cases() {
+        assert_eq!(Growth::linear(1.0).compare_exponent(1.585), Ordering::Less);
+        assert_eq!(Growth::linear(1.0).compare_exponent(1.0), Ordering::Equal);
+        assert_eq!(
+            Growth::polynomial(1.0, 2.0).compare_exponent(1.0),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn is_theta_of_poly_rejects_log_factors() {
+        assert!(Growth::linear(5.0).is_theta_of_poly(1.0));
+        assert!(!Growth::n_log_n(1.0).is_theta_of_poly(1.0));
+        assert!(!Growth::linear(1.0).is_theta_of_poly(2.0));
+    }
+
+    #[test]
+    fn times_log_and_scale() {
+        let f = Growth::linear(2.0).times_log();
+        assert_eq!(f.log_power, 1);
+        assert!((f.eval(8.0) - 2.0 * 8.0 * 3.0).abs() < 1e-9);
+        let g = f.scale(0.5);
+        assert!((g.eval(8.0) - 8.0 * 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Growth::constant(1.0).to_string(), "1");
+        assert_eq!(Growth::linear(1.0).to_string(), "n");
+        assert_eq!(Growth::n_log_n(1.0).to_string(), "n log n");
+        assert_eq!(Growth::polynomial(1.0, 2.0).to_string(), "n^2");
+        assert_eq!(Growth::new(1.0, 1.0, 2).to_string(), "n log^2 n");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_coefficient_rejected() {
+        let _ = Growth::new(-1.0, 1.0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn eval_is_monotone_in_n(c in 0.1f64..10.0, k in 0.0f64..3.0, j in 0u32..3,
+                                 n in 2.0f64..1e6) {
+            let f = Growth::new(c, k, j);
+            prop_assert!(f.eval(n * 2.0) >= f.eval(n));
+        }
+
+        #[test]
+        fn scale_is_linear(c in 0.1f64..10.0, k in 0.0f64..3.0, n in 1.0f64..1e5,
+                           factor in 0.1f64..10.0) {
+            let f = Growth::polynomial(c, k);
+            let lhs = f.scale(factor).eval(n);
+            let rhs = f.eval(n) * factor;
+            prop_assert!((lhs - rhs).abs() <= 1e-9 * rhs.abs().max(1.0));
+        }
+    }
+}

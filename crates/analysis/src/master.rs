@@ -1,0 +1,309 @@
+//! The Master theorem and the paper's parallel Master theorem (Theorem 1).
+//!
+//! For a recurrence `T(n) = a·T(n/b) + f(n)` with `a ≥ 1`, `b > 1` the
+//! classical Master theorem (paper Eq. 2) distinguishes three cases by
+//! comparing `f(n)` with `n^{log_b a}`.  Theorem 1 of the paper re-derives
+//! the three cases for the wall-clock time `T_p(n)` of the straightforward
+//! pal-thread parallelization with `p = O(log n)` processors:
+//!
+//! | case | condition | sequential merge | parallel merge (Eq. 5) |
+//! |------|-----------|------------------|------------------------|
+//! | 1 | `f(n) = O(n^{log_b a − ε})` | `O(T(n)/p)` | `O(T(n)/p)` |
+//! | 2 | `f(n) = Θ(n^{log_b a})` | `O(T(n)/p)` | `O(T(n)/p)` |
+//! | 3 | `f(n) = Ω(n^{log_b a + ε})`, regularity | `Θ(f(n))` | `Θ(f(n)/p)` |
+//!
+//! The functions here classify a recurrence, produce the asymptotic bound as
+//! a [`Growth`], and label the speedup class the paper promises so the
+//! benches can compare prediction and measurement.
+
+use crate::growth::Growth;
+use crate::recurrence::Recurrence;
+
+/// The case of the (sequential or parallel) Master theorem a recurrence
+/// falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MasterCase {
+    /// `f(n) = O(n^{log_b a − ε})`: the leaves dominate.
+    Case1,
+    /// `f(n) = Θ(n^{log_b a})`: every level contributes equally.
+    Case2,
+    /// `f(n) = Ω(n^{log_b a + ε})` with the regularity condition: the root
+    /// dominates.
+    Case3,
+    /// The driving function sits in one of the polylogarithmic gaps the
+    /// theorem does not cover (e.g. `f(n) = n^{log_b a} log n` for case-2/3
+    /// boundaries, or a case-3 exponent whose regularity condition fails).
+    Unclassified,
+}
+
+/// Whether the merge phase of the divide-and-conquer algorithm is executed
+/// sequentially within each instance (Theorem 1) or in parallel with optimal
+/// speedup (the Eq. 5 refinement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeMode {
+    /// Only one processor works on a given merge.
+    Sequential,
+    /// The merge of one instance is spread over the available processors.
+    Parallel,
+}
+
+/// The speedup class Theorem 1 promises for a recurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpeedupClass {
+    /// `T_p(n) = O(T(n)/p)`: work-optimal, linear speedup in `p`.
+    Linear,
+    /// `T_p(n) = Θ(f(n))`: the sequential merge at the root dominates and no
+    /// asymptotic speedup is obtained.
+    None,
+    /// The theorem makes no claim for this recurrence.
+    Unknown,
+}
+
+/// The conclusion of the parallel Master theorem for one recurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelBound {
+    /// Which case of the theorem applied.
+    pub case: MasterCase,
+    /// The asymptotic sequential time `T(n)` (Θ-bound, paper Eq. 2).
+    pub sequential: Growth,
+    /// The asymptotic wall-clock time with `p` processors, as a function of
+    /// `n`, *before* dividing by `p` where applicable; see `divide_by_p`.
+    pub parallel: Growth,
+    /// Whether `parallel` must additionally be divided by `p` (cases with
+    /// linear speedup) or stands on its own (case 3 with sequential merge).
+    pub divide_by_p: bool,
+    /// The speedup class the theorem promises.
+    pub speedup: SpeedupClass,
+}
+
+impl ParallelBound {
+    /// Numerically evaluate the predicted wall-clock bound at `(n, p)`.
+    pub fn eval(&self, n: f64, p: usize) -> f64 {
+        let raw = self.parallel.eval(n);
+        if self.divide_by_p {
+            raw / p as f64
+        } else {
+            raw
+        }
+    }
+}
+
+/// Classify a recurrence according to the classical Master theorem.
+pub fn classify(rec: &Recurrence) -> MasterCase {
+    let crit = rec.critical_exponent();
+    match rec.f.compare_exponent(crit) {
+        std::cmp::Ordering::Less => MasterCase::Case1,
+        std::cmp::Ordering::Equal => {
+            if rec.f.log_power == 0 {
+                MasterCase::Case2
+            } else {
+                MasterCase::Unclassified
+            }
+        }
+        std::cmp::Ordering::Greater => {
+            if regularity_holds(rec) {
+                MasterCase::Case3
+            } else {
+                MasterCase::Unclassified
+            }
+        }
+    }
+}
+
+/// The regularity condition of case 3: `a · f(n/b) ≤ c · f(n)` for some
+/// `c < 1` and all sufficiently large `n`.  For `f(n) = n^k (log n)^j` this
+/// holds exactly when `a / b^k < 1`.
+pub fn regularity_holds(rec: &Recurrence) -> bool {
+    (rec.a as f64) < (rec.b as f64).powf(rec.f.exponent)
+}
+
+/// The Θ-bound of the classical Master theorem (paper Eq. 2).
+pub fn sequential_master_bound(rec: &Recurrence) -> Option<Growth> {
+    let crit = rec.critical_exponent();
+    match classify(rec) {
+        MasterCase::Case1 => Some(Growth::polynomial(1.0, crit)),
+        MasterCase::Case2 => Some(Growth::new(1.0, crit, rec.f.log_power + 1)),
+        MasterCase::Case3 => Some(rec.f),
+        MasterCase::Unclassified => None,
+    }
+}
+
+/// The conclusion of the paper's parallel Master theorem (Theorem 1 and the
+/// parallel-merging refinement of Eq. 5).
+pub fn parallel_master_bound(rec: &Recurrence, merge: MergeMode) -> ParallelBound {
+    let case = classify(rec);
+    let sequential = sequential_master_bound(rec).unwrap_or(rec.f);
+    match case {
+        MasterCase::Case1 | MasterCase::Case2 => ParallelBound {
+            case,
+            sequential,
+            parallel: sequential,
+            divide_by_p: true,
+            speedup: SpeedupClass::Linear,
+        },
+        MasterCase::Case3 => match merge {
+            MergeMode::Sequential => ParallelBound {
+                case,
+                sequential,
+                parallel: rec.f,
+                divide_by_p: false,
+                speedup: SpeedupClass::None,
+            },
+            MergeMode::Parallel => ParallelBound {
+                case,
+                sequential,
+                parallel: rec.f,
+                divide_by_p: true,
+                speedup: SpeedupClass::Linear,
+            },
+        },
+        MasterCase::Unclassified => ParallelBound {
+            case,
+            sequential,
+            parallel: sequential,
+            divide_by_p: false,
+            speedup: SpeedupClass::Unknown,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recurrence::catalog;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classify_textbook_recurrences() {
+        assert_eq!(classify(&catalog::karatsuba()), MasterCase::Case1);
+        assert_eq!(classify(&catalog::strassen()), MasterCase::Case1);
+        assert_eq!(classify(&catalog::poly_mul_four_way()), MasterCase::Case1);
+        assert_eq!(classify(&catalog::mergesort()), MasterCase::Case2);
+        assert_eq!(classify(&catalog::quadratic_merge()), MasterCase::Case3);
+    }
+
+    #[test]
+    fn classify_binary_search_is_case2() {
+        // T(n) = T(n/2) + 1: log_b a = 0 and f = Θ(1).
+        let r = Recurrence::new(1, 2, Growth::constant(1.0));
+        assert_eq!(classify(&r), MasterCase::Case2);
+        let bound = sequential_master_bound(&r).unwrap();
+        assert_eq!(bound.log_power, 1);
+        assert!(bound.exponent.abs() < 1e-9);
+    }
+
+    #[test]
+    fn polylog_gap_is_unclassified() {
+        // f(n) = n log n with log_b a = 1 sits in the gap of the classical theorem.
+        let r = Recurrence::new(2, 2, Growth::n_log_n(1.0));
+        assert_eq!(classify(&r), MasterCase::Unclassified);
+        assert_eq!(sequential_master_bound(&r), None);
+    }
+
+    #[test]
+    fn regularity_condition() {
+        assert!(regularity_holds(&catalog::quadratic_merge())); // 2 < 2² = 4
+        let tight = Recurrence::new(4, 2, Growth::polynomial(1.0, 2.0)); // 4 = 2²
+        assert!(!regularity_holds(&tight));
+    }
+
+    #[test]
+    fn sequential_bounds_match_textbook() {
+        let ms = sequential_master_bound(&catalog::mergesort()).unwrap();
+        assert_eq!(ms.log_power, 1);
+        assert!((ms.exponent - 1.0).abs() < 1e-9);
+
+        let ka = sequential_master_bound(&catalog::karatsuba()).unwrap();
+        assert!((ka.exponent - 1.585).abs() < 1e-3);
+        assert_eq!(ka.log_power, 0);
+
+        let q = sequential_master_bound(&catalog::quadratic_merge()).unwrap();
+        assert!((q.exponent - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem1_cases_1_and_2_promise_linear_speedup() {
+        for rec in [catalog::karatsuba(), catalog::mergesort(), catalog::strassen()] {
+            for merge in [MergeMode::Sequential, MergeMode::Parallel] {
+                let bound = parallel_master_bound(&rec, merge);
+                assert_eq!(bound.speedup, SpeedupClass::Linear);
+                assert!(bound.divide_by_p);
+            }
+        }
+    }
+
+    #[test]
+    fn theorem1_case3_sequential_merge_promises_no_speedup() {
+        let bound = parallel_master_bound(&catalog::quadratic_merge(), MergeMode::Sequential);
+        assert_eq!(bound.case, MasterCase::Case3);
+        assert_eq!(bound.speedup, SpeedupClass::None);
+        assert!(!bound.divide_by_p);
+        // Θ(f(n)) = Θ(n²): identical prediction for p = 2 and p = 8.
+        assert_eq!(bound.eval(4096.0, 2), bound.eval(4096.0, 8));
+    }
+
+    #[test]
+    fn eq5_case3_parallel_merge_promises_f_over_p() {
+        let bound = parallel_master_bound(&catalog::quadratic_merge(), MergeMode::Parallel);
+        assert_eq!(bound.speedup, SpeedupClass::Linear);
+        assert!(bound.divide_by_p);
+        let at2 = bound.eval(4096.0, 2);
+        let at8 = bound.eval(4096.0, 8);
+        assert!((at2 / at8 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicted_bound_tracks_recurrence_evaluation() {
+        // The Θ-bound is only defined up to constants, so the meaningful
+        // check is that the ratio between the exact Eq. 3 evaluation and the
+        // predicted bound stays (roughly) constant as n grows.
+        for (rec, p) in [(catalog::karatsuba(), 9usize), (catalog::mergesort(), 8usize)] {
+            let bound = parallel_master_bound(&rec, MergeMode::Sequential);
+            let ratios: Vec<f64> = [14u32, 17, 20]
+                .iter()
+                .map(|&exp| {
+                    let n = 1usize << exp;
+                    rec.parallel_time_eq3(n, p) / bound.eval(n as f64, p)
+                })
+                .collect();
+            let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+            assert!(
+                max / min < 2.0,
+                "Θ-bound does not track Eq. 3: ratios {ratios:?}"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn every_recurrence_gets_a_consistent_classification(
+            a in 1u32..10, b in 2u32..6, k in 0.0f64..3.0, j in 0u32..2
+        ) {
+            let rec = Recurrence::new(a, b, Growth::new(1.0, k, j));
+            let case = classify(&rec);
+            let bound = parallel_master_bound(&rec, MergeMode::Sequential);
+            prop_assert_eq!(bound.case, case);
+            match case {
+                MasterCase::Case1 | MasterCase::Case2 => {
+                    prop_assert_eq!(bound.speedup, SpeedupClass::Linear)
+                }
+                MasterCase::Case3 => prop_assert_eq!(bound.speedup, SpeedupClass::None),
+                MasterCase::Unclassified => prop_assert_eq!(bound.speedup, SpeedupClass::Unknown),
+            }
+        }
+
+        #[test]
+        fn case1_iff_exponent_below_critical(a in 1u32..10, b in 2u32..6, k in 0.0f64..3.0) {
+            let rec = Recurrence::new(a, b, Growth::polynomial(1.0, k));
+            let crit = rec.critical_exponent();
+            let case = classify(&rec);
+            if k < crit - 1e-6 {
+                prop_assert_eq!(case, MasterCase::Case1);
+            }
+            if k > crit + 1e-6 && (a as f64) < (b as f64).powf(k) {
+                prop_assert_eq!(case, MasterCase::Case3);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the three Master-theorem cases (experiments
+//! E3–E6): every group sweeps the processor count so the reported times can
+//! be turned into the speedup curves of EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lopram_bench::{pool_with, random_matrix, random_vec};
+use lopram_dnc::case3::{cross_product_sum, CrossMergeMode};
+use lopram_dnc::karatsuba::karatsuba_mul;
+use lopram_dnc::mergesort::merge_sort;
+use lopram_dnc::strassen::strassen_mul;
+
+const PROCS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_case1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("case1");
+    let n = 1usize << 13;
+    let a = random_vec(n, 1);
+    let b = random_vec(n, 2);
+    for &p in &PROCS {
+        let pool = pool_with(p);
+        group.bench_with_input(BenchmarkId::new("karatsuba", p), &p, |bench, _| {
+            bench.iter(|| std::hint::black_box(karatsuba_mul(&pool, &a, &b)));
+        });
+    }
+    let ma = random_matrix(256, 3);
+    let mb = random_matrix(256, 4);
+    for &p in &PROCS {
+        let pool = pool_with(p);
+        group.bench_with_input(BenchmarkId::new("strassen256", p), &p, |bench, _| {
+            bench.iter(|| std::hint::black_box(strassen_mul(&pool, &ma, &mb)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_case2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("case2");
+    let n = 1usize << 19;
+    let data = random_vec(n, 5);
+    for &p in &PROCS {
+        let pool = pool_with(p);
+        group.bench_with_input(BenchmarkId::new("mergesort", p), &p, |bench, _| {
+            bench.iter(|| {
+                let mut v = data.clone();
+                merge_sort(&pool, &mut v);
+                std::hint::black_box(v);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_case3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("case3");
+    let n = 1usize << 12;
+    let data = random_vec(n, 7);
+    for &p in &PROCS {
+        let pool = pool_with(p);
+        group.bench_with_input(BenchmarkId::new("seq_merge", p), &p, |bench, _| {
+            bench.iter(|| {
+                std::hint::black_box(cross_product_sum(&pool, &data, CrossMergeMode::Sequential))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("par_merge", p), &p, |bench, _| {
+            bench.iter(|| {
+                std::hint::black_box(cross_product_sum(&pool, &data, CrossMergeMode::Parallel))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_case1, bench_case2, bench_case3
+}
+criterion_main!(benches);

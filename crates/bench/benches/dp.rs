@@ -1,0 +1,67 @@
+//! Criterion benchmarks for parallel dynamic programming (experiment E8):
+//! wavefront and Algorithm 1 schedulers on LCS, knapsack and matrix chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lopram_bench::{pool_with, random_string};
+use lopram_dp::prelude::*;
+
+const PROCS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_lcs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_lcs");
+    let problem = Lcs::new(random_string(500, 4, 1), random_string(500, 4, 2));
+    group.bench_function("sequential", |b| {
+        b.iter(|| std::hint::black_box(solve_sequential(&problem)));
+    });
+    for &p in &PROCS {
+        let pool = pool_with(p);
+        group.bench_with_input(BenchmarkId::new("counter", p), &p, |b, _| {
+            b.iter(|| std::hint::black_box(solve_counter(&problem, &pool)));
+        });
+        group.bench_with_input(BenchmarkId::new("wavefront", p), &p, |b, _| {
+            b.iter(|| std::hint::black_box(solve_wavefront(&problem, &pool)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_knapsack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_knapsack");
+    let problem = Knapsack::new(
+        (0..120).map(|i| (i % 11) + 1).collect(),
+        (0..120).map(|i| ((i * 7) % 31 + 1) as u64).collect(),
+        1200,
+    );
+    group.bench_function("sequential", |b| {
+        b.iter(|| std::hint::black_box(solve_sequential(&problem)));
+    });
+    for &p in &PROCS {
+        let pool = pool_with(p);
+        group.bench_with_input(BenchmarkId::new("counter", p), &p, |b, _| {
+            b.iter(|| std::hint::black_box(solve_counter(&problem, &pool)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_matrix_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_matrix_chain");
+    let problem = MatrixChain::new((0..100).map(|i| ((i * 13) % 32 + 2) as u64).collect());
+    group.bench_function("sequential", |b| {
+        b.iter(|| std::hint::black_box(solve_sequential(&problem)));
+    });
+    for &p in &PROCS {
+        let pool = pool_with(p);
+        group.bench_with_input(BenchmarkId::new("wavefront", p), &p, |b, _| {
+            b.iter(|| std::hint::black_box(solve_wavefront(&problem, &pool)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_lcs, bench_knapsack, bench_matrix_chain
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmarks for parallel memoization (§4.5, experiment E10):
+//! top-down memoized evaluation vs the bottom-up Algorithm 1 scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lopram_bench::{pool_with, random_string};
+use lopram_dp::prelude::*;
+
+const PROCS: [usize; 3] = [1, 4, 8];
+
+fn bench_matrix_chain_memo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memo_matrix_chain");
+    let problem = MatrixChain::new((0..90).map(|i| ((i * 11) % 30 + 2) as u64).collect());
+    for &p in &PROCS {
+        let pool = pool_with(p);
+        group.bench_with_input(BenchmarkId::new("bottom_up", p), &p, |b, _| {
+            b.iter(|| std::hint::black_box(solve_counter(&problem, &pool)));
+        });
+        group.bench_with_input(BenchmarkId::new("memoized", p), &p, |b, _| {
+            b.iter(|| std::hint::black_box(solve_memoized(&problem, &pool)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lcs_memo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memo_lcs");
+    let problem = Lcs::new(random_string(400, 4, 1), random_string(400, 4, 2));
+    for &p in &PROCS {
+        let pool = pool_with(p);
+        group.bench_with_input(BenchmarkId::new("bottom_up", p), &p, |b, _| {
+            b.iter(|| std::hint::black_box(solve_counter(&problem, &pool)));
+        });
+        group.bench_with_input(BenchmarkId::new("memoized", p), &p, |b, _| {
+            b.iter(|| std::hint::black_box(solve_memoized(&problem, &pool)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matrix_chain_memo, bench_lcs_memo
+}
+criterion_main!(benches);

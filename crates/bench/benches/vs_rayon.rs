@@ -1,0 +1,69 @@
+//! Criterion benchmarks for experiment E12: the pal-thread pool, the eager
+//! throttled ablation and raw rayon on the same mergesort workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lopram_bench::random_vec;
+use lopram_core::{PalPool, ThrottledPool};
+use lopram_dnc::mergesort::{merge_into, merge_sort};
+
+const PROCS: [usize; 3] = [2, 4, 8];
+
+fn rayon_merge_sort(data: &mut [i64]) {
+    if data.len() <= 64 {
+        data.sort_unstable();
+        return;
+    }
+    let mid = data.len() / 2;
+    let mut temp = data.to_vec();
+    {
+        let (dl, dr) = data.split_at_mut(mid);
+        rayon::join(|| rayon_merge_sort(dl), || rayon_merge_sort(dr));
+        merge_into(dl, dr, &mut temp);
+    }
+    data.copy_from_slice(&temp);
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_ablation");
+    let n = 1usize << 19;
+    let data = random_vec(n, 1);
+    for &p in &PROCS {
+        let pal = PalPool::new(p).expect("p >= 1");
+        group.bench_with_input(BenchmarkId::new("palpool", p), &p, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                merge_sort(&pal, &mut v);
+                std::hint::black_box(v);
+            });
+        });
+
+        let throttled = ThrottledPool::new(p).expect("p >= 1");
+        group.bench_with_input(BenchmarkId::new("throttled", p), &p, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                merge_sort(&throttled, &mut v);
+                std::hint::black_box(v);
+            });
+        });
+
+        let rayon_pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(p)
+            .build()
+            .expect("rayon pool");
+        group.bench_with_input(BenchmarkId::new("rayon", p), &p, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                rayon_pool.install(|| rayon_merge_sort(&mut v));
+                std::hint::black_box(v);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_schedulers
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Experiment E1 — Figure 1 of the paper.
+//!
+//! Rebuilds the mergesort pal-thread execution tree for `n = 16`, `p = 4`,
+//! prints the per-level activation times (the numbers printed next to the
+//! nodes in the figure) and the snapshot at `t = 6` (the colours of the
+//! figure).
+
+use lopram_sim::{render_activation_tree, render_figure1_snapshot, TaskTree, TreeSimulator};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let p: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    let tree = TaskTree::mergesort_figure1(n);
+    let sim = TreeSimulator::new(&tree);
+    let result = sim.run(p);
+
+    println!("Figure 1 reproduction: mergesort execution tree, n = {n}, p = {p}");
+    println!("(paper: level activation times 1 / 2 2 / 3 3 3 3 / 4 7 ... / 5 6 8 9 ...)\n");
+    print!("{}", render_activation_tree(&tree, &result));
+    println!();
+    print!("{}", render_figure1_snapshot(&tree, &result, 6));
+    println!();
+    println!(
+        "makespan T_p = {} steps, total work T_1 = {} steps, speedup = {:.2}, efficiency = {:.2}",
+        result.makespan,
+        result.total_work,
+        result.speedup(),
+        result.efficiency()
+    );
+}

@@ -1,0 +1,53 @@
+//! Experiment E2 — Figure 2 of the paper.
+//!
+//! For divide-and-conquer recurrences with different branching factors `a`
+//! and processor counts `p`, prints the recursion depth `⌊log_a p⌋` at which
+//! thread creation stops and the size `n / b^{log_a p}` of the subproblem
+//! each processor then solves sequentially, and checks both against the
+//! step-accurate simulator (the depth at which pal-threads stop being granted
+//! fresh processors).
+
+use lopram_analysis::{Growth, Recurrence};
+use lopram_sim::{CostSpec, TaskTree, TreeSimulator};
+
+fn main() {
+    let n = 1usize << 12;
+    println!("Figure 2 reproduction: parallel cutoff depth of divide-and-conquer recursion");
+    println!("input size n = {n}\n");
+    println!(
+        "{:>3} {:>3} {:>4} {:>14} {:>20} {:>22}",
+        "a", "b", "p", "floor(log_a p)", "seq. subproblem", "sim: deepest new proc"
+    );
+    for &(a, b) in &[(2u32, 2u32), (3, 2), (4, 2), (4, 4)] {
+        for &p in &[2usize, 4, 8, 16] {
+            let rec = Recurrence::new(a, b, Growth::linear(1.0));
+            let depth = rec.parallel_depth(p);
+            let subproblem = rec.sequential_subproblem_size(n, p);
+
+            // Simulator cross-check: the deepest tree level whose nodes were
+            // activated while another node of the same level was still
+            // running (i.e. levels that received genuinely parallel service).
+            let tree = TaskTree::divide_and_conquer(n.min(1 << 10), a, b, 1, &CostSpec::unit());
+            let result = TreeSimulator::new(&tree).run(p);
+            let mut deepest_parallel = 0u32;
+            for level in tree.levels().iter().skip(1) {
+                let times: Vec<u64> = level
+                    .iter()
+                    .map(|&id| result.records[id].activated_at)
+                    .collect();
+                let all_same = times.windows(2).all(|w| w[0] == w[1]);
+                if all_same && level.len() > 1 {
+                    deepest_parallel = tree.node(level[0]).depth;
+                }
+            }
+            println!(
+                "{:>3} {:>3} {:>4} {:>14} {:>20.1} {:>22}",
+                a, b, p, depth, subproblem, deepest_parallel
+            );
+        }
+    }
+    println!(
+        "\nReading: thread creation occupies processors down to depth floor(log_a p); below"
+    );
+    println!("that depth every processor runs its subproblem of size n / b^(log_a p) sequentially.");
+}

@@ -1,0 +1,93 @@
+//! Experiment E3 — Theorem 1, case 1 (`f(n) = O(n^{log_b a − ε})`).
+//!
+//! Karatsuba (`3T(n/2)+n`), four-way polynomial multiplication (`4T(n/2)+n`)
+//! and Strassen (`7T(n/2)+n²`) are all case 1, so the paper predicts
+//! `T_p(n) = O(T(n)/p)`.  The table reports measured wall-clock speedups on
+//! the pal-thread pool next to the speedup predicted by the exact Eq. 3
+//! evaluation.
+
+use lopram_analysis::recurrence::catalog;
+use lopram_bench::{
+    measure, pool_with, print_speedup_table, random_matrix, random_vec, SpeedupRow,
+    PROCESSOR_SWEEP,
+};
+use lopram_dnc::karatsuba::{karatsuba_mul, karatsuba_mul_seq};
+use lopram_dnc::polymul::{polymul_four_way, polymul_seq};
+use lopram_dnc::strassen::{strassen_mul, strassen_mul_seq};
+
+fn main() {
+    let runs = 3;
+    let mut rows = Vec::new();
+
+    // Karatsuba.
+    let n = 1usize << 14;
+    let a = random_vec(n, 1);
+    let b = random_vec(n, 2);
+    let seq = measure(runs, || {
+        std::hint::black_box(karatsuba_mul_seq(&a, &b));
+    });
+    for &p in &PROCESSOR_SWEEP {
+        let pool = pool_with(p);
+        let par = measure(runs, || {
+            std::hint::black_box(karatsuba_mul(&pool, &a, &b));
+        });
+        rows.push(SpeedupRow {
+            label: "karatsuba (3T(n/2)+n)".into(),
+            n,
+            p,
+            sequential: seq,
+            parallel: par,
+            predicted: Some(catalog::karatsuba().predicted_speedup(n, p)),
+        });
+    }
+
+    // Four-way polynomial multiplication.
+    let n = 1usize << 13;
+    let a = random_vec(n, 3);
+    let b = random_vec(n, 4);
+    let seq = measure(runs, || {
+        std::hint::black_box(polymul_seq(&a, &b));
+    });
+    for &p in &PROCESSOR_SWEEP {
+        let pool = pool_with(p);
+        let par = measure(runs, || {
+            std::hint::black_box(polymul_four_way(&pool, &a, &b));
+        });
+        rows.push(SpeedupRow {
+            label: "polymul (4T(n/2)+n)".into(),
+            n,
+            p,
+            sequential: seq,
+            parallel: par,
+            predicted: Some(catalog::poly_mul_four_way().predicted_speedup(n, p)),
+        });
+    }
+
+    // Strassen.
+    let n = 512usize;
+    let ma = random_matrix(n, 5);
+    let mb = random_matrix(n, 6);
+    let seq = measure(runs, || {
+        std::hint::black_box(strassen_mul_seq(&ma, &mb));
+    });
+    for &p in &PROCESSOR_SWEEP {
+        let pool = pool_with(p);
+        let par = measure(runs, || {
+            std::hint::black_box(strassen_mul(&pool, &ma, &mb));
+        });
+        rows.push(SpeedupRow {
+            label: "strassen (7T(n/2)+n^2)".into(),
+            n,
+            p,
+            sequential: seq,
+            parallel: par,
+            predicted: Some(catalog::strassen().predicted_speedup(n, p)),
+        });
+    }
+
+    print_speedup_table(
+        "Theorem 1, case 1: work-optimal speedup T_p = O(T/p)",
+        &rows,
+    );
+    println!("\nPaper claim: speedup grows linearly in p (efficiency stays near 1).");
+}

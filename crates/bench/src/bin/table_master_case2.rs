@@ -1,0 +1,98 @@
+//! Experiment E4 — Theorem 1, case 2 (`f(n) = Θ(n^{log_b a})`).
+//!
+//! Mergesort, maximum subarray and closest pair all follow
+//! `T(n) = 2T(n/2) + Θ(n)`, the paper's flagship case (its own example is the
+//! mergesort listing of §3.1).  Theorem 1 predicts `T_p(n) = O(T(n)/p)`; the
+//! Eq. 3 prediction shows the constant-factor loss from the merge terms at
+//! finite n.
+
+use lopram_analysis::recurrence::catalog;
+use lopram_bench::{
+    measure, pool_with, print_speedup_table, random_vec, SpeedupRow, PROCESSOR_SWEEP,
+};
+use lopram_dnc::closest_pair::{closest_pair, closest_pair_seq, Point};
+use lopram_dnc::max_subarray::{max_subarray, max_subarray_seq};
+use lopram_dnc::mergesort::{merge_sort, merge_sort_seq};
+use rand::prelude::*;
+
+fn main() {
+    let runs = 3;
+    let mut rows = Vec::new();
+
+    // Mergesort.
+    let n = 1usize << 21;
+    let data = random_vec(n, 1);
+    let seq = measure(runs, || {
+        let mut v = data.clone();
+        merge_sort_seq(&mut v);
+        std::hint::black_box(v);
+    });
+    for &p in &PROCESSOR_SWEEP {
+        let pool = pool_with(p);
+        let par = measure(runs, || {
+            let mut v = data.clone();
+            merge_sort(&pool, &mut v);
+            std::hint::black_box(v);
+        });
+        rows.push(SpeedupRow {
+            label: "mergesort (2T(n/2)+n)".into(),
+            n,
+            p,
+            sequential: seq,
+            parallel: par,
+            predicted: Some(catalog::mergesort().predicted_speedup(n, p)),
+        });
+    }
+
+    // Maximum subarray.
+    let n = 1usize << 23;
+    let data = random_vec(n, 2);
+    let seq = measure(runs, || {
+        std::hint::black_box(max_subarray_seq(&data));
+    });
+    for &p in &PROCESSOR_SWEEP {
+        let pool = pool_with(p);
+        let par = measure(runs, || {
+            std::hint::black_box(max_subarray(&pool, &data));
+        });
+        rows.push(SpeedupRow {
+            label: "max-subarray".into(),
+            n,
+            p,
+            sequential: seq,
+            parallel: par,
+            predicted: Some(catalog::max_subarray().predicted_speedup(n, p)),
+        });
+    }
+
+    // Closest pair.
+    let n = 1usize << 17;
+    let mut rng = StdRng::seed_from_u64(3);
+    let points: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.gen_range(-1e6..1e6), rng.gen_range(-1e6..1e6)))
+        .collect();
+    let seq = measure(runs, || {
+        std::hint::black_box(closest_pair_seq(&points));
+    });
+    for &p in &PROCESSOR_SWEEP {
+        let pool = pool_with(p);
+        let par = measure(runs, || {
+            std::hint::black_box(closest_pair(&pool, &points));
+        });
+        rows.push(SpeedupRow {
+            label: "closest-pair".into(),
+            n,
+            p,
+            sequential: seq,
+            parallel: par,
+            predicted: Some(catalog::max_subarray().predicted_speedup(n, p)),
+        });
+    }
+
+    print_speedup_table(
+        "Theorem 1, case 2: work-optimal speedup T_p = O(T/p)",
+        &rows,
+    );
+    println!("\nPaper claim: speedup grows with p; Eq. 3 predicts the finite-n efficiency loss");
+    println!("caused by the sequential merges near the root of the recursion tree.");
+}

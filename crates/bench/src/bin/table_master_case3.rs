@@ -1,0 +1,61 @@
+//! Experiments E5/E6 — Theorem 1, case 3 and the Eq. 5 refinement.
+//!
+//! The cross-product-sum workload follows `T(n) = 2T(n/2) + Θ(n²)`: the root
+//! merge dominates.  With a sequential merge the paper predicts
+//! `T_p(n) = Θ(f(n))` — no speedup — and with a parallel merge
+//! `T_p(n) = Θ(f(n)/p)` — linear speedup restored.
+
+use lopram_analysis::recurrence::catalog;
+use lopram_bench::{
+    measure, pool_with, print_speedup_table, random_vec, SpeedupRow, PROCESSOR_SWEEP,
+};
+use lopram_dnc::case3::{cross_product_sum, cross_product_sum_seq, CrossMergeMode};
+
+fn main() {
+    let runs = 3;
+    let n = 1usize << 13;
+    let data = random_vec(n, 1);
+    let rec = catalog::quadratic_merge();
+
+    let seq = measure(runs, || {
+        std::hint::black_box(cross_product_sum_seq(&data));
+    });
+
+    let mut rows = Vec::new();
+    for &p in &PROCESSOR_SWEEP {
+        let pool = pool_with(p);
+        let par = measure(runs, || {
+            std::hint::black_box(cross_product_sum(&pool, &data, CrossMergeMode::Sequential));
+        });
+        rows.push(SpeedupRow {
+            label: "case3 seq-merge".into(),
+            n,
+            p,
+            sequential: seq,
+            parallel: par,
+            predicted: Some(rec.predicted_speedup(n, p)),
+        });
+    }
+    for &p in &PROCESSOR_SWEEP {
+        let pool = pool_with(p);
+        let par = measure(runs, || {
+            std::hint::black_box(cross_product_sum(&pool, &data, CrossMergeMode::Parallel));
+        });
+        rows.push(SpeedupRow {
+            label: "case3 par-merge (Eq.5)".into(),
+            n,
+            p,
+            sequential: seq,
+            parallel: par,
+            predicted: Some(rec.predicted_speedup_parallel_merge(n, p)),
+        });
+    }
+
+    print_speedup_table(
+        "Theorem 1, case 3: dominant merge (2T(n/2) + n^2)",
+        &rows,
+    );
+    println!("\nPaper claim: with a sequential merge the speedup is bounded by a constant");
+    println!("(T_p = Θ(f(n)), here ≈ 2 because T(n) ≈ 2·f(n)); parallelising the merge");
+    println!("restores T_p = Θ(f(n)/p), i.e. speedup growing linearly in p.");
+}

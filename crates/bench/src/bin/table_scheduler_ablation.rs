@@ -1,0 +1,93 @@
+//! Experiment E12 — scheduler ablation.
+//!
+//! Compares three executors on the same pal-thread mergesort:
+//!
+//! * the default [`PalPool`] (bounded work-stealing pool — pending
+//!   pal-threads stay available to idle processors, the property the paper's
+//!   scheduler relies on);
+//! * the [`ThrottledPool`] ablation (spawn-or-inline decided eagerly at
+//!   creation time, no pending queue);
+//! * raw rayon with the same number of threads (the modern work-stealing
+//!   baseline named in the reproduction notes).
+//!
+//! The gap between the first two quantifies how much the paper's "pending
+//! pal-threads are activated … as resources become available" rule matters.
+
+use std::time::Duration;
+
+use lopram_bench::{measure, random_vec, PROCESSOR_SWEEP};
+use lopram_core::{PalPool, ThrottledPool};
+use lopram_dnc::mergesort::{merge_sort, merge_sort_seq};
+
+fn main() {
+    let runs = 3;
+    let n = 1usize << 21;
+    let data = random_vec(n, 1);
+
+    let t1 = measure(runs, || {
+        let mut v = data.clone();
+        merge_sort_seq(&mut v);
+        std::hint::black_box(v);
+    });
+
+    println!("Scheduler ablation — mergesort, n = {n}, T_1 = {t1:.3?}\n");
+    println!(
+        "{:>4} {:>14} {:>9} {:>14} {:>9} {:>14} {:>9}",
+        "p", "PalPool", "speedup", "Throttled", "speedup", "rayon", "speedup"
+    );
+    for &p in &PROCESSOR_SWEEP {
+        let pal = PalPool::new(p).expect("p >= 1");
+        let t_pal = measure(runs, || {
+            let mut v = data.clone();
+            merge_sort(&pal, &mut v);
+            std::hint::black_box(v);
+        });
+
+        let throttled = ThrottledPool::new(p).expect("p >= 1");
+        let t_throttled = measure(runs, || {
+            let mut v = data.clone();
+            merge_sort(&throttled, &mut v);
+            std::hint::black_box(v);
+        });
+
+        let rayon_pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(p)
+            .build()
+            .expect("rayon pool");
+        let t_rayon = measure(runs, || {
+            let mut v = data.clone();
+            rayon_pool.install(|| rayon_merge_sort(&mut v));
+            std::hint::black_box(v);
+        });
+
+        let s = |t: Duration| t1.as_secs_f64() / t.as_secs_f64().max(1e-12);
+        println!(
+            "{:>4} {:>14.3?} {:>9.2} {:>14.3?} {:>9.2} {:>14.3?} {:>9.2}",
+            p,
+            t_pal,
+            s(t_pal),
+            t_throttled,
+            s(t_throttled),
+            t_rayon,
+            s(t_rayon)
+        );
+    }
+    println!("\nReading: PalPool tracks raw rayon closely (both keep pending work available to");
+    println!("idle processors); the eager ThrottledPool loses speedup because a pal-thread that");
+    println!("was folded into its parent can never migrate to a processor that frees up later.");
+}
+
+fn rayon_merge_sort(data: &mut [i64]) {
+    if data.len() <= 64 {
+        data.sort_unstable();
+        return;
+    }
+    let mid = data.len() / 2;
+    let mut temp = data.to_vec();
+    {
+        let (dl, dr) = data.split_at_mut(mid);
+        rayon::join(|| rayon_merge_sort(dl), || rayon_merge_sort(dr));
+        lopram_dnc::mergesort::merge_into(dl, dr, &mut temp);
+    }
+    data.copy_from_slice(&temp);
+}

@@ -1,0 +1,281 @@
+//! Execution back-ends.
+//!
+//! The divide-and-conquer and dynamic-programming crates are written against
+//! the [`Executor`] trait so that the same algorithm text can run
+//! sequentially (the paper's `T(n) = T_1(n)` baseline), on a [`PalPool`]
+//! (real pal-threads, §3.1), or — through the `lopram-sim` crate — on the
+//! deterministic LoPRAM simulator.  This mirrors the paper's claim that
+//! work-optimal parallel algorithms are obtained from "simple modifications
+//! of sequential algorithms": the modification is just the choice of
+//! executor.
+
+use std::ops::Range;
+
+use crate::runtime::{PalPool, ThrottledPool};
+use crate::Result;
+
+/// An execution back-end for pal-thread style parallelism.
+pub trait Executor: Sync {
+    /// Number of processors `p` this executor models.
+    fn processors(&self) -> usize;
+
+    /// Run two pal-threads and wait for both (the `palthreads { a; b; }`
+    /// construct).
+    fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send;
+
+    /// Apply `f` to every index of `range`, possibly in parallel.
+    fn for_each_index<F>(&self, range: Range<usize>, f: F)
+    where
+        F: Fn(usize) + Sync;
+
+    /// `true` when more than one processor is available.
+    fn is_parallel(&self) -> bool {
+        self.processors() > 1
+    }
+}
+
+/// Strictly sequential executor (`p = 1`); the reference every speedup is
+/// measured against.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SeqExecutor;
+
+impl Executor for SeqExecutor {
+    fn processors(&self) -> usize {
+        1
+    }
+
+    fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        (a(), b())
+    }
+
+    fn for_each_index<F>(&self, range: Range<usize>, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        for i in range {
+            f(i);
+        }
+    }
+}
+
+impl Executor for PalPool {
+    fn processors(&self) -> usize {
+        PalPool::processors(self)
+    }
+
+    fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        PalPool::join(self, a, b)
+    }
+
+    fn for_each_index<F>(&self, range: Range<usize>, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        PalPool::for_each_index(self, range, f)
+    }
+}
+
+impl Executor for ThrottledPool {
+    fn processors(&self) -> usize {
+        ThrottledPool::processors(self)
+    }
+
+    fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        ThrottledPool::join(self, a, b)
+    }
+
+    fn for_each_index<F>(&self, range: Range<usize>, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        ThrottledPool::for_each_index(self, range, f)
+    }
+}
+
+/// Pal-thread executor owning its [`PalPool`].
+#[derive(Debug)]
+pub struct PalExecutor {
+    pool: PalPool,
+}
+
+impl PalExecutor {
+    /// Create an executor with exactly `p` processors.
+    pub fn new(p: usize) -> Result<Self> {
+        Ok(PalExecutor {
+            pool: PalPool::new(p)?,
+        })
+    }
+
+    /// Create an executor sized by the paper's `p = O(log n)` policy.
+    pub fn for_input_size(n: usize) -> Self {
+        PalExecutor {
+            pool: PalPool::for_input_size(n),
+        }
+    }
+
+    /// Wrap an existing pool.
+    pub fn from_pool(pool: PalPool) -> Self {
+        PalExecutor { pool }
+    }
+
+    /// Access the underlying pool.
+    pub fn pool(&self) -> &PalPool {
+        &self.pool
+    }
+}
+
+impl Executor for PalExecutor {
+    fn processors(&self) -> usize {
+        self.pool.processors()
+    }
+
+    fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        self.pool.join(a, b)
+    }
+
+    fn for_each_index<F>(&self, range: Range<usize>, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.pool.for_each_index(range, f)
+    }
+}
+
+impl<E: Executor> Executor for &E {
+    fn processors(&self) -> usize {
+        (**self).processors()
+    }
+
+    fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        (**self).join(a, b)
+    }
+
+    fn for_each_index<F>(&self, range: Range<usize>, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        (**self).for_each_index(range, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn exercise<E: Executor>(exec: &E) {
+        let (a, b) = exec.join(|| 1 + 1, || 2 + 2);
+        assert_eq!((a, b), (2, 4));
+        let counter = AtomicUsize::new(0);
+        exec.for_each_index(0..100, |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert!(exec.processors() >= 1);
+    }
+
+    #[test]
+    fn sequential_executor_works() {
+        let exec = SeqExecutor;
+        exercise(&exec);
+        assert!(!exec.is_parallel());
+        assert_eq!(exec.processors(), 1);
+    }
+
+    #[test]
+    fn pal_executor_works() {
+        let exec = PalExecutor::new(4).unwrap();
+        exercise(&exec);
+        assert!(exec.is_parallel());
+        assert_eq!(exec.processors(), 4);
+    }
+
+    #[test]
+    fn pool_is_an_executor() {
+        let pool = PalPool::new(2).unwrap();
+        exercise(&pool);
+    }
+
+    #[test]
+    fn throttled_pool_is_an_executor() {
+        let pool = ThrottledPool::new(2).unwrap();
+        exercise(&pool);
+    }
+
+    #[test]
+    fn reference_to_executor_is_executor() {
+        let exec = SeqExecutor;
+        exercise(&&exec);
+    }
+
+    #[test]
+    fn pal_executor_for_input_size() {
+        let exec = PalExecutor::for_input_size(1 << 12);
+        assert!(exec.processors() >= 1);
+        assert!(exec.pool().processors() == exec.processors());
+    }
+
+    #[test]
+    fn executors_agree_on_recursive_sum() {
+        fn sum<E: Executor>(exec: &E, data: &[u64]) -> u64 {
+            if data.len() <= 4 {
+                return data.iter().sum();
+            }
+            let (lo, hi) = data.split_at(data.len() / 2);
+            let (a, b) = exec.join(|| sum(exec, lo), || sum(exec, hi));
+            a + b
+        }
+        let data: Vec<u64> = (0..1000).collect();
+        let seq = sum(&SeqExecutor, &data);
+        let pal = sum(&PalExecutor::new(4).unwrap(), &data);
+        assert_eq!(seq, pal);
+        assert_eq!(seq, 999 * 1000 / 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! # lopram-core
+//!
+//! Core of the LoPRAM reproduction: the *Low-degree Parallel RAM* model of
+//! Dorrigiv, López-Ortiz and Salinger (SPAA 2008 / TR CS-2007-48).
+//!
+//! The LoPRAM is a PRAM whose number of processors `p` is bounded by
+//! `O(log n)` rather than `Θ(n)`.  Algorithms obtain parallelism through
+//! **pal-threads** (*Parallel ALgorithmic threads*): recursive calls are
+//! created as children of the current thread in program order, the scheduler
+//! keeps at most `p` of them active, and threads that cannot be granted a
+//! processor are executed by their parent, in creation order.  The practical
+//! consequence (paper, Figure 2) is that a divide-and-conquer algorithm
+//! spawns threads down to recursion depth `log_a p` and runs sequentially
+//! below that depth — which is exactly what the runtime in this crate does.
+//!
+//! The crate provides:
+//!
+//! * [`ProcessorPolicy`] / [`processors_for`] — the `p = O(log n)` policy of
+//!   the paper (§3.2) plus fixed and machine-width policies for experiments;
+//! * [`PalPool`] — a bounded-degree fork/join runtime implementing the
+//!   pal-thread semantics of §3.1 ([`PalPool::join`], [`PalPool::scope`],
+//!   [`palthreads!`]);
+//! * [`Executor`] — an abstraction over sequential and pal-thread execution
+//!   used by the divide-and-conquer and dynamic-programming crates;
+//! * [`SerCell`] — the paper's transparently *serialized shared variable*;
+//! * [`metrics`] — work / spawn accounting used by the experiment harness.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod error;
+pub mod executor;
+pub mod metrics;
+pub mod policy;
+pub mod runtime;
+pub mod sercell;
+
+mod macros;
+
+pub use error::{Error, Result};
+pub use executor::{Executor, PalExecutor, SeqExecutor};
+pub use metrics::{RunMetrics, SpeedupReport};
+pub use policy::{processors_for, ProcessorPolicy};
+pub use runtime::{PalPool, PalPoolBuilder, PalScope, ThrottledPool, ThrottledScope};
+pub use sercell::SerCell;
+
+/// Convenience prelude re-exporting the items almost every user needs.
+pub mod prelude {
+    pub use crate::executor::{Executor, PalExecutor, SeqExecutor};
+    pub use crate::palthreads;
+    pub use crate::policy::{processors_for, ProcessorPolicy};
+    pub use crate::runtime::{PalPool, PalPoolBuilder, PalScope, ThrottledPool};
+    pub use crate::sercell::SerCell;
+}

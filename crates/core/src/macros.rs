@@ -1,0 +1,99 @@
+//! The [`palthreads!`] macro.
+
+/// Run a block of statements as pal-threads, mirroring the paper's
+/// `palthreads { … }` C extension (§3.1).
+///
+/// Each expression in the block becomes a child pal-thread of the current
+/// thread, created in the order written.  The macro waits for all children
+/// before it returns (the paper's implicit wait); use
+/// [`PalPool::scope`](crate::PalPool::scope) directly when the `nowait`
+/// behaviour is needed.
+///
+/// ```
+/// use lopram_core::{palthreads, PalPool};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = PalPool::new(4).unwrap();
+/// let counter = AtomicUsize::new(0);
+/// palthreads!(pool => {
+///     counter.fetch_add(1, Ordering::SeqCst);
+/// }, {
+///     counter.fetch_add(10, Ordering::SeqCst);
+/// }, {
+///     counter.fetch_add(100, Ordering::SeqCst);
+/// });
+/// assert_eq!(counter.load(Ordering::SeqCst), 111);
+/// ```
+#[macro_export]
+macro_rules! palthreads {
+    ($pool:expr => $($body:block),+ $(,)?) => {{
+        let __pal_pool: &$crate::PalPool = &$pool;
+        __pal_pool.scope(|__pal_scope| {
+            $(
+                __pal_scope.spawn(|| $body);
+            )+
+        });
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::PalPool;
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn palthreads_runs_every_block() {
+        let pool = PalPool::new(4).unwrap();
+        let counter = AtomicUsize::new(0);
+        palthreads!(pool => {
+            counter.fetch_add(1, Ordering::SeqCst);
+        }, {
+            counter.fetch_add(2, Ordering::SeqCst);
+        }, {
+            counter.fetch_add(4, Ordering::SeqCst);
+        }, {
+            counter.fetch_add(8, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 15);
+    }
+
+    #[test]
+    fn palthreads_single_block() {
+        let pool = PalPool::sequential();
+        let counter = AtomicUsize::new(0);
+        palthreads!(pool => {
+            counter.fetch_add(5, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn palthreads_sequential_pool_runs_in_creation_order() {
+        let pool = PalPool::sequential();
+        let order = Mutex::new(Vec::new());
+        palthreads!(pool => {
+            order.lock().push(1);
+        }, {
+            order.lock().push(2);
+        }, {
+            order.lock().push(3);
+        });
+        assert_eq!(*order.lock(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn palthreads_can_mutate_disjoint_slices() {
+        let pool = PalPool::new(2).unwrap();
+        let mut data = vec![0u32; 8];
+        let (left, right) = data.split_at_mut(4);
+        let left = Mutex::new(left);
+        let right = Mutex::new(right);
+        palthreads!(pool => {
+            for x in left.lock().iter_mut() { *x = 1; }
+        }, {
+            for x in right.lock().iter_mut() { *x = 2; }
+        });
+        assert_eq!(data, vec![1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+}

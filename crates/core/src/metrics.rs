@@ -1,0 +1,187 @@
+//! Work and scheduling metrics.
+//!
+//! The paper's analysis is in terms of wall-clock parallel time `T_p(n)`
+//! versus sequential time `T(n) = T_1(n)` (§3.2, §4.1).  The experiment
+//! harness measures both and reports speedups; the runtime additionally
+//! counts how many pal-threads were granted their own processor versus how
+//! many were folded into their parent (the paper's "no free cores ⇒ run
+//! sequentially" rule), which makes the cutoff depth of Figure 2 observable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counters describing one run of a pal-thread computation.
+#[derive(Debug, Default)]
+pub struct RunMetrics {
+    /// Number of pal-threads that received a dedicated processor.
+    pub spawned: AtomicU64,
+    /// Number of pal-threads executed inline by their parent because all
+    /// `p` processors were busy.
+    pub inlined: AtomicU64,
+    /// Total abstract work units reported by the algorithm (optional).
+    pub work: AtomicU64,
+}
+
+impl RunMetrics {
+    /// Create a zeroed metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that a pal-thread was granted its own processor.
+    pub fn record_spawn(&self) {
+        self.spawned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record that a pal-thread was executed inline by its parent.
+    pub fn record_inline(&self) {
+        self.inlined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `units` of abstract work.
+    pub fn record_work(&self, units: u64) {
+        self.work.fetch_add(units, Ordering::Relaxed);
+    }
+
+    /// Number of pal-threads granted a processor so far.
+    pub fn spawned(&self) -> u64 {
+        self.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Number of pal-threads folded into their parent so far.
+    pub fn inlined(&self) -> u64 {
+        self.inlined.load(Ordering::Relaxed)
+    }
+
+    /// Total abstract work recorded so far.
+    pub fn work(&self) -> u64 {
+        self.work.load(Ordering::Relaxed)
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.spawned.store(0, Ordering::Relaxed);
+        self.inlined.store(0, Ordering::Relaxed);
+        self.work.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters into a plain value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            spawned: self.spawned(),
+            inlined: self.inlined(),
+            work: self.work(),
+        }
+    }
+}
+
+/// A plain-value copy of [`RunMetrics`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Pal-threads granted a processor.
+    pub spawned: u64,
+    /// Pal-threads folded into their parent.
+    pub inlined: u64,
+    /// Abstract work units.
+    pub work: u64,
+}
+
+/// Measured speedup of a parallel run against its sequential counterpart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupReport {
+    /// Input size of the run.
+    pub n: usize,
+    /// Number of processors used in the parallel run.
+    pub p: usize,
+    /// Wall-clock time of the sequential run.
+    pub sequential: Duration,
+    /// Wall-clock time of the parallel run.
+    pub parallel: Duration,
+}
+
+impl SpeedupReport {
+    /// Observed speedup `T_1 / T_p`.
+    pub fn speedup(&self) -> f64 {
+        let par = self.parallel.as_secs_f64();
+        if par == 0.0 {
+            return f64::INFINITY;
+        }
+        self.sequential.as_secs_f64() / par
+    }
+
+    /// Parallel efficiency `speedup / p` (1.0 is work-optimal, i.e. linear
+    /// speedup in the sense of Theorem 1 cases 1 and 2).
+    pub fn efficiency(&self) -> f64 {
+        self.speedup() / self.p as f64
+    }
+
+    /// `true` when the run achieved at least `fraction` of linear speedup.
+    pub fn is_work_optimal(&self, fraction: f64) -> bool {
+        self.efficiency() >= fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_accumulate() {
+        let m = RunMetrics::new();
+        m.record_spawn();
+        m.record_spawn();
+        m.record_inline();
+        m.record_work(100);
+        assert_eq!(m.spawned(), 2);
+        assert_eq!(m.inlined(), 1);
+        assert_eq!(m.work(), 100);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap,
+            MetricsSnapshot {
+                spawned: 2,
+                inlined: 1,
+                work: 100
+            }
+        );
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn speedup_report_basic() {
+        let r = SpeedupReport {
+            n: 1024,
+            p: 4,
+            sequential: Duration::from_millis(400),
+            parallel: Duration::from_millis(100),
+        };
+        assert!((r.speedup() - 4.0).abs() < 1e-9);
+        assert!((r.efficiency() - 1.0).abs() < 1e-9);
+        assert!(r.is_work_optimal(0.9));
+    }
+
+    #[test]
+    fn speedup_report_sublinear() {
+        let r = SpeedupReport {
+            n: 1024,
+            p: 8,
+            sequential: Duration::from_millis(800),
+            parallel: Duration::from_millis(400),
+        };
+        assert!((r.speedup() - 2.0).abs() < 1e-9);
+        assert!((r.efficiency() - 0.25).abs() < 1e-9);
+        assert!(!r.is_work_optimal(0.5));
+    }
+
+    #[test]
+    fn zero_parallel_time_is_infinite_speedup() {
+        let r = SpeedupReport {
+            n: 1,
+            p: 1,
+            sequential: Duration::from_millis(1),
+            parallel: Duration::ZERO,
+        };
+        assert!(r.speedup().is_infinite());
+    }
+}

@@ -1,0 +1,213 @@
+//! Processor-count policies.
+//!
+//! The defining assumption of the LoPRAM (paper §3, §3.2) is that the number
+//! of processors `p` available to an algorithm is `O(log n)` in the input
+//! size `n`, and that an algorithm must run correctly for *any* value of `p`
+//! (the operating system may give it fewer cores as the level of
+//! multiprogramming changes).  [`ProcessorPolicy`] captures the ways the
+//! reproduction selects `p`, and [`processors_for`] evaluates a policy for a
+//! concrete input size.
+
+/// Strategy used to pick the number of processors `p` for an input of size `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProcessorPolicy {
+    /// The paper's canonical choice: `p = max(1, ⌊log₂ n⌋)`, additionally
+    /// capped by the number of cores the host actually exposes.
+    #[default]
+    LogN,
+    /// `p = max(1, ⌈log₂ n⌉)`, capped by the host core count.  Useful when a
+    /// power-of-two `n` should still use the "next" processor.
+    LogNCeil,
+    /// A fixed processor count, still clamped to at least one.  Used by the
+    /// experiment harness to sweep `p ∈ {1, 2, 4, 8, …}` independently of `n`.
+    Fixed(usize),
+    /// Use every core the host reports (`std::thread::available_parallelism`).
+    Available,
+}
+
+impl ProcessorPolicy {
+    /// Evaluate the policy for an input of size `n`.
+    ///
+    /// The result is always at least 1.  Logarithmic policies are capped by
+    /// the host parallelism so that `p` never exceeds what the machine can
+    /// actually run concurrently, mirroring §3.2's remark that the OS decides
+    /// how many cores are really available.
+    pub fn processors(&self, n: usize) -> usize {
+        let host = available_parallelism();
+        match *self {
+            ProcessorPolicy::LogN => floor_log2(n).max(1).min(host),
+            ProcessorPolicy::LogNCeil => ceil_log2(n).max(1).min(host),
+            ProcessorPolicy::Fixed(p) => p.max(1),
+            ProcessorPolicy::Available => host,
+        }
+    }
+
+    /// Evaluate the policy but without clamping to the host's core count.
+    ///
+    /// The simulator uses this variant: it can model a machine with more
+    /// cores than the host running the simulation.
+    pub fn processors_unclamped(&self, n: usize) -> usize {
+        match *self {
+            ProcessorPolicy::LogN => floor_log2(n).max(1),
+            ProcessorPolicy::LogNCeil => ceil_log2(n).max(1),
+            ProcessorPolicy::Fixed(p) => p.max(1),
+            ProcessorPolicy::Available => available_parallelism(),
+        }
+    }
+}
+
+/// Shorthand for [`ProcessorPolicy::processors`].
+pub fn processors_for(n: usize, policy: ProcessorPolicy) -> usize {
+    policy.processors(n)
+}
+
+/// Number of hardware threads the host exposes (at least 1).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+/// `⌊log₂ n⌋` with the convention that inputs of size 0 or 1 yield 0.
+pub fn floor_log2(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - 1 - n.leading_zeros()) as usize
+    }
+}
+
+/// `⌈log₂ n⌉` with the convention that inputs of size 0 or 1 yield 0.
+pub fn ceil_log2(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        let f = floor_log2(n);
+        if n.is_power_of_two() {
+            f
+        } else {
+            f + 1
+        }
+    }
+}
+
+/// `⌊log_base n⌋` for an arbitrary integer base `base ≥ 2` (0 for `n ≤ 1`).
+pub fn floor_log(base: usize, n: usize) -> usize {
+    assert!(base >= 2, "logarithm base must be at least 2");
+    if n <= 1 {
+        return 0;
+    }
+    let mut k = 0usize;
+    let mut acc = 1usize;
+    while let Some(next) = acc.checked_mul(base) {
+        if next > n {
+            break;
+        }
+        acc = next;
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn floor_log2_small_values() {
+        assert_eq!(floor_log2(0), 0);
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(2), 1);
+        assert_eq!(floor_log2(3), 1);
+        assert_eq!(floor_log2(4), 2);
+        assert_eq!(floor_log2(1023), 9);
+        assert_eq!(floor_log2(1024), 10);
+    }
+
+    #[test]
+    fn ceil_log2_small_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+    }
+
+    #[test]
+    fn floor_log_arbitrary_base() {
+        assert_eq!(floor_log(2, 8), 3);
+        assert_eq!(floor_log(3, 8), 1);
+        assert_eq!(floor_log(3, 9), 2);
+        assert_eq!(floor_log(7, 49), 2);
+        assert_eq!(floor_log(7, 48), 1);
+        assert_eq!(floor_log(10, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn floor_log_rejects_base_one() {
+        let _ = floor_log(1, 10);
+    }
+
+    #[test]
+    fn logn_policy_is_logarithmic_and_positive() {
+        let p = ProcessorPolicy::LogN;
+        assert_eq!(p.processors_unclamped(1), 1);
+        assert_eq!(p.processors_unclamped(2), 1);
+        assert_eq!(p.processors_unclamped(1 << 20), 20);
+        assert!(p.processors(1 << 20) >= 1);
+    }
+
+    #[test]
+    fn fixed_policy_clamps_to_one() {
+        assert_eq!(ProcessorPolicy::Fixed(0).processors(100), 1);
+        assert_eq!(ProcessorPolicy::Fixed(6).processors(100), 6);
+    }
+
+    #[test]
+    fn available_policy_matches_host() {
+        assert_eq!(
+            ProcessorPolicy::Available.processors(12345),
+            available_parallelism()
+        );
+    }
+
+    #[test]
+    fn default_policy_is_logn() {
+        assert_eq!(ProcessorPolicy::default(), ProcessorPolicy::LogN);
+    }
+
+    proptest! {
+        #[test]
+        fn floor_and_ceil_log2_bracket_n(n in 1usize..1_000_000) {
+            let f = floor_log2(n);
+            let c = ceil_log2(n);
+            prop_assert!(1usize << f <= n);
+            prop_assert!(f == c || f + 1 == c);
+            if n > 1 {
+                // 2^c >= n, guarding against overflow for large c.
+                prop_assert!(n <= 1usize.checked_shl(c as u32).unwrap_or(usize::MAX));
+            }
+        }
+
+        #[test]
+        fn policy_always_positive(n in 0usize..1_000_000, fixed in 0usize..64) {
+            for policy in [
+                ProcessorPolicy::LogN,
+                ProcessorPolicy::LogNCeil,
+                ProcessorPolicy::Fixed(fixed),
+                ProcessorPolicy::Available,
+            ] {
+                prop_assert!(policy.processors(n) >= 1);
+                prop_assert!(policy.processors_unclamped(n) >= 1);
+            }
+        }
+
+        #[test]
+        fn floor_log_agrees_with_log2(n in 1usize..1_000_000) {
+            prop_assert_eq!(floor_log(2, n), floor_log2(n));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! The pal-thread runtime.
+//!
+//! Paper §3.1 describes two thread kinds.  *Standard threads* behave like OS
+//! threads and are simply `std::thread` here.  *Pal-threads* (Parallel
+//! ALgorithmic threads) are created into an ordered tree; the scheduler keeps
+//! at least one of them running, grants processors to pending pal-threads in
+//! an order consistent with creation (parent–child / pre-order) order as
+//! cores free up, and — once a thread has been activated — never suspends it
+//! again.  A pal-thread that is never granted a core is executed by its
+//! parent, in creation order.  The net effect (Figure 2) is that a recursive
+//! algorithm occupies the `p` processors with one subtree of size
+//! `n / b^{log_a p}` each and runs sequentially below that depth.
+//!
+//! Two executors realise these semantics on real hardware:
+//!
+//! * [`PalPool`] (default) — a bounded pool of exactly `p` workers in which
+//!   pending pal-threads remain available to idle processors until they are
+//!   picked up (work stealing).  This is the executor all algorithm crates
+//!   use and the one whose speedups the experiment harness reports.
+//! * [`ThrottledPool`] (ablation) — an eager variant that decides
+//!   *at creation time* whether a pal-thread gets its own processor or is
+//!   folded into its parent.  It is simpler but loses the "pending threads
+//!   are activated as resources become available" rule, and the benches show
+//!   the resulting load imbalance.
+//!
+//! The step-accurate, deterministic implementation of the paper's activation
+//! tree (the one that reproduces Figure 1 literally) is in the `lopram-sim`
+//! crate.
+
+mod pool;
+mod throttled;
+mod tokens;
+
+pub use pool::{PalPool, PalPoolBuilder, PalScope};
+pub use throttled::{ThrottledPool, ThrottledPoolBuilder, ThrottledScope};
+pub use tokens::ProcessorTokens;

@@ -1,0 +1,472 @@
+//! The [`PalPool`]: the default pal-thread executor for real hardware.
+//!
+//! The paper's scheduler keeps pending pal-threads in an ordered tree and
+//! hands them to processors "in a manner consistent with order of creation as
+//! resources become available" (§3.1).  The property that actually drives
+//! Theorem 1 is that a pal-thread which could not be activated at creation
+//! time is still *available* to any processor that frees up later, so the `p`
+//! processors end up owning one subtree each of size `n / b^{log_a p}`
+//! (Figure 2).  On real hardware the standard way to obtain exactly that
+//! behaviour is a bounded work-stealing pool: pending tasks stay in per-worker
+//! deques and idle processors take the *oldest* (largest) pending task first.
+//! `PalPool` therefore wraps a [`rayon`] thread pool configured with exactly
+//! `p` worker threads; the from-scratch, step-accurate implementation of the
+//! paper's own activation rule lives in the `lopram-sim` crate, and the
+//! eagerly-scheduled [`ThrottledPool`](crate::runtime::ThrottledPool) is kept
+//! as an ablation.
+
+use std::ops::Range;
+
+use parking_lot::Mutex;
+
+use crate::error::{Error, Result};
+use crate::metrics::RunMetrics;
+use crate::policy::ProcessorPolicy;
+
+/// A LoPRAM processor pool with `p` processors.
+///
+/// All parallelism in the algorithm crates flows through this type: the
+/// two-way [`join`](PalPool::join) (the paper's `palthreads { a; b; }`), the
+/// multi-way [`scope`](PalPool::scope) used by the dynamic-programming
+/// schedulers, and the data-parallel helpers
+/// [`for_each_index`](PalPool::for_each_index) /
+/// [`map_reduce`](PalPool::map_reduce) used for parallel merging (Eq. 5) and
+/// wavefront execution.
+#[derive(Debug)]
+pub struct PalPool {
+    processors: usize,
+    pool: rayon::ThreadPool,
+    metrics: RunMetrics,
+}
+
+impl PalPool {
+    /// Create a pool with exactly `p` processors.
+    ///
+    /// Returns [`Error::ZeroProcessors`] when `p == 0`.
+    pub fn new(p: usize) -> Result<Self> {
+        if p == 0 {
+            return Err(Error::ZeroProcessors);
+        }
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(p)
+            .thread_name(|i| format!("lopram-proc-{i}"))
+            .build()
+            .map_err(|e| Error::InvalidInput(format!("failed to build thread pool: {e}")))?;
+        Ok(PalPool {
+            processors: p,
+            pool,
+            metrics: RunMetrics::new(),
+        })
+    }
+
+    /// Create a single-processor pool: every pal-thread runs on the same
+    /// processor, so the execution is the sequential one.
+    pub fn sequential() -> Self {
+        PalPool::new(1).expect("1 > 0")
+    }
+
+    /// Create a pool sized by the paper's default policy `p = O(log n)` for
+    /// an input of size `n` (capped by the host's core count).
+    pub fn for_input_size(n: usize) -> Self {
+        let p = ProcessorPolicy::LogN.processors(n);
+        PalPool::new(p).expect("policy returns >= 1")
+    }
+
+    /// Create a pool sized by an explicit [`ProcessorPolicy`].
+    pub fn with_policy(n: usize, policy: ProcessorPolicy) -> Self {
+        PalPool::new(policy.processors(n)).expect("policy returns >= 1")
+    }
+
+    /// Start building a pool with non-default options.
+    pub fn builder() -> PalPoolBuilder {
+        PalPoolBuilder::default()
+    }
+
+    /// Number of processors `p` this pool models.
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// Pal-thread creation counters for this pool.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Run two pal-threads and wait for both — the `palthreads { a(); b(); }`
+    /// construct of the paper's mergesort example (§3.1).
+    ///
+    /// `a` is executed by the calling processor; `b` is executed by another
+    /// processor if one becomes available before the caller gets to it, and
+    /// by the caller otherwise.  Panics in either child propagate to the
+    /// caller.
+    pub fn join<RA, RB>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        self.metrics.record_spawn();
+        self.pool.join(a, b)
+    }
+
+    /// Open a pal-thread scope: `f` may spawn any number of pal-threads via
+    /// [`PalScope::spawn`]; the scope waits for all of them before returning.
+    ///
+    /// This is the multi-way generalisation of [`join`](PalPool::join) used
+    /// by the dynamic-programming executors (Algorithm 1 creates one
+    /// pal-thread per ready DAG vertex).
+    pub fn scope<'env, R>(
+        &'env self,
+        f: impl for<'scope> FnOnce(&PalScope<'scope, 'env>) -> R,
+    ) -> R {
+        self.pool.in_place_scope(|s| {
+            let pal = PalScope {
+                scope: s,
+                metrics: &self.metrics,
+                processors: self.processors,
+            };
+            f(&pal)
+        })
+    }
+
+    /// Apply `f` to every index in `range`, splitting the range into chunks
+    /// executed by pal-threads.
+    ///
+    /// This is the primitive behind parallel merging (Eq. 5) and the
+    /// wavefront dynamic-programming executor: within one antichain every
+    /// cell is independent, so indices can be processed by up to `p`
+    /// processors.
+    pub fn for_each_index<F>(&self, range: Range<usize>, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let len = range.end.saturating_sub(range.start);
+        if len == 0 {
+            return;
+        }
+        let chunks = self.chunk_count(len);
+        let chunk_size = len.div_ceil(chunks);
+        self.scope(|scope| {
+            let f = &f;
+            let mut start = range.start;
+            while start < range.end {
+                let end = (start + chunk_size).min(range.end);
+                scope.spawn(move || {
+                    for i in start..end {
+                        f(i);
+                    }
+                });
+                start = end;
+            }
+        });
+    }
+
+    /// Map every index in `range` through `map` and fold the results with
+    /// `reduce`, starting from `identity` in every chunk.
+    ///
+    /// `reduce` must be associative for the result to be independent of the
+    /// chunking (the usual data-parallel contract).
+    pub fn map_reduce<T, M, R>(&self, range: Range<usize>, identity: T, map: M, reduce: R) -> T
+    where
+        T: Send + Clone,
+        M: Fn(usize) -> T + Sync,
+        R: Fn(T, T) -> T + Sync + Send,
+    {
+        let len = range.end.saturating_sub(range.start);
+        if len == 0 {
+            return identity;
+        }
+        let chunks = self.chunk_count(len);
+        let chunk_size = len.div_ceil(chunks);
+        let partials: Mutex<Vec<T>> = Mutex::new(Vec::with_capacity(chunks));
+        self.scope(|scope| {
+            let map = &map;
+            let reduce = &reduce;
+            let partials = &partials;
+            let mut start = range.start;
+            while start < range.end {
+                let end = (start + chunk_size).min(range.end);
+                let seed = identity.clone();
+                scope.spawn(move || {
+                    let mut acc = seed;
+                    for i in start..end {
+                        acc = reduce(acc, map(i));
+                    }
+                    partials.lock().push(acc);
+                });
+                start = end;
+            }
+        });
+        let mut acc = identity;
+        for part in partials.into_inner() {
+            acc = reduce(acc, part);
+        }
+        acc
+    }
+
+    fn chunk_count(&self, len: usize) -> usize {
+        (self.processors * 4).clamp(1, len)
+    }
+}
+
+/// A scope in which pal-threads can be spawned; see [`PalPool::scope`].
+pub struct PalScope<'scope, 'env: 'scope> {
+    scope: &'scope rayon::Scope<'env>,
+    metrics: &'scope RunMetrics,
+    processors: usize,
+}
+
+impl<'scope, 'env> PalScope<'scope, 'env> {
+    /// Create a pal-thread running `f`.
+    ///
+    /// The pal-thread is placed in the pending set and executed as soon as a
+    /// processor is available; pending pal-threads are picked up in an order
+    /// consistent with creation order, as §3.1 prescribes.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.metrics.record_spawn();
+        self.scope.spawn(move |_| f());
+    }
+
+    /// Number of processors of the owning pool.
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+}
+
+impl std::fmt::Debug for PalScope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PalScope")
+            .field("processors", &self.processors)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builder for [`PalPool`] with explicit processor counts, policies and caps.
+#[derive(Debug, Default, Clone)]
+pub struct PalPoolBuilder {
+    processors: Option<usize>,
+    policy: Option<(usize, ProcessorPolicy)>,
+    max_processors: Option<usize>,
+}
+
+impl PalPoolBuilder {
+    /// Use exactly `p` processors.
+    pub fn processors(mut self, p: usize) -> Self {
+        self.processors = Some(p);
+        self
+    }
+
+    /// Derive the processor count from `policy` applied to input size `n`.
+    pub fn policy(mut self, n: usize, policy: ProcessorPolicy) -> Self {
+        self.policy = Some((n, policy));
+        self
+    }
+
+    /// Enforce a hard upper bound on the processor count.
+    pub fn max_processors(mut self, limit: usize) -> Self {
+        self.max_processors = Some(limit);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<PalPool> {
+        let p = match (self.processors, self.policy) {
+            (Some(p), _) => p,
+            (None, Some((n, policy))) => policy.processors(n),
+            (None, None) => ProcessorPolicy::Available.processors(0),
+        };
+        if p == 0 {
+            return Err(Error::ZeroProcessors);
+        }
+        if let Some(limit) = self.max_processors {
+            if p > limit {
+                return Err(Error::TooManyProcessors {
+                    requested: p,
+                    limit,
+                });
+            }
+        }
+        PalPool::new(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn new_rejects_zero_processors() {
+        assert_eq!(PalPool::new(0).unwrap_err(), Error::ZeroProcessors);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = PalPool::new(4).unwrap();
+        let (a, b) = pool.join(|| 2 + 2, || "hello".len());
+        assert_eq!(a, 4);
+        assert_eq!(b, 5);
+    }
+
+    #[test]
+    fn nested_joins_compute_fibonacci() {
+        fn fib(pool: &PalPool, n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+            a + b
+        }
+        let pool = PalPool::new(4).unwrap();
+        assert_eq!(fib(&pool, 20), 6765);
+    }
+
+    #[test]
+    fn join_propagates_panic_from_second_child() {
+        let pool = PalPool::new(2).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.join(|| 1, || -> i32 { panic!("child b failed") });
+        }));
+        assert!(result.is_err());
+        // The pool must remain usable afterwards.
+        let (a, b) = pool.join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn scope_runs_all_spawned_threads() {
+        let pool = PalPool::new(3).unwrap();
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn scope_spawn_can_borrow_environment() {
+        let pool = PalPool::new(2).unwrap();
+        let data = vec![1u64, 2, 3, 4];
+        let total = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for chunk in data.chunks(2) {
+                let total = &total;
+                s.spawn(move || {
+                    total.fetch_add(chunk.iter().sum::<u64>() as usize, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn for_each_index_covers_every_index_exactly_once() {
+        let pool = PalPool::new(4).unwrap();
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.for_each_index(0..1000, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn for_each_index_empty_range_is_noop() {
+        let pool = PalPool::new(4).unwrap();
+        pool.for_each_index(5..5, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn map_reduce_sums_range() {
+        let pool = PalPool::new(4).unwrap();
+        let total = pool.map_reduce(0..1001, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(total, 1000 * 1001 / 2);
+    }
+
+    #[test]
+    fn map_reduce_empty_range_returns_identity() {
+        let pool = PalPool::new(2).unwrap();
+        assert_eq!(pool.map_reduce(3..3, 42u64, |i| i as u64, |a, b| a + b), 42);
+    }
+
+    #[test]
+    fn for_input_size_uses_log_policy() {
+        let pool = PalPool::for_input_size(1 << 10);
+        assert!(pool.processors() >= 1);
+        assert!(pool.processors() <= 10);
+    }
+
+    #[test]
+    fn metrics_count_pal_thread_creations() {
+        let pool = PalPool::new(2).unwrap();
+        let before = pool.metrics().spawned();
+        pool.join(|| (), || ());
+        pool.scope(|s| {
+            s.spawn(|| ());
+            s.spawn(|| ());
+        });
+        assert_eq!(pool.metrics().spawned(), before + 3);
+    }
+
+    #[test]
+    fn builder_respects_fixed_and_cap() {
+        let pool = PalPool::builder().processors(3).build().unwrap();
+        assert_eq!(pool.processors(), 3);
+
+        let err = PalPool::builder()
+            .processors(16)
+            .max_processors(8)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            Error::TooManyProcessors {
+                requested: 16,
+                limit: 8
+            }
+        );
+
+        let pool = PalPool::builder()
+            .policy(1 << 6, ProcessorPolicy::LogN)
+            .build()
+            .unwrap();
+        assert!(pool.processors() >= 1);
+    }
+
+    #[test]
+    fn results_identical_for_any_p() {
+        // §3.2: "The algorithm must execute properly for any value of p."
+        fn sum_recursive(pool: &PalPool, data: &[u64]) -> u64 {
+            if data.len() <= 8 {
+                return data.iter().sum();
+            }
+            let mid = data.len() / 2;
+            let (lo, hi) = data.split_at(mid);
+            let (a, b) = pool.join(|| sum_recursive(pool, lo), || sum_recursive(pool, hi));
+            a + b
+        }
+        let data: Vec<u64> = (0..4096).collect();
+        let expected: u64 = data.iter().sum();
+        for p in [1, 2, 3, 4, 7, 8] {
+            let pool = PalPool::new(p).unwrap();
+            assert_eq!(sum_recursive(&pool, &data), expected, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn sequential_pool_has_one_processor() {
+        let pool = PalPool::sequential();
+        assert_eq!(pool.processors(), 1);
+        let (a, b) = pool.join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+}

@@ -1,0 +1,167 @@
+//! Serialized shared variables.
+//!
+//! The LoPRAM model (paper §3) assumes a CREW memory in which "semaphores and
+//! automatic serialization on shared variables are available — either
+//! hardware or software based — in a transparent form to the programmer", and
+//! that concurrently writing an *unserialized* variable has undefined
+//! behaviour.  [`SerCell`] is the reproduction of the serialized variable: a
+//! shared cell whose every access is transparently serialized, so concurrent
+//! writers are always well defined.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A transparently serialized shared variable (paper §3).
+///
+/// All reads and writes are serialized through an internal lock, mimicking
+/// the hardware/software semaphore the paper assumes.  The cell additionally
+/// counts how many accesses it has served, which the tests and the
+/// memoization executor use to reason about contention (the paper's
+/// `O(log p)` CRCW-on-CREW simulation overhead, §4.5).
+#[derive(Debug, Default)]
+pub struct SerCell<T> {
+    value: Mutex<T>,
+    waiters: Condvar,
+    accesses: AtomicU64,
+}
+
+impl<T> SerCell<T> {
+    /// Create a new serialized cell holding `value`.
+    pub fn new(value: T) -> Self {
+        SerCell {
+            value: Mutex::new(value),
+            waiters: Condvar::new(),
+            accesses: AtomicU64::new(0),
+        }
+    }
+
+    /// Read the current value (clones it).
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+        self.value.lock().clone()
+    }
+
+    /// Overwrite the value, returning the previous one.
+    pub fn set(&self, value: T) -> T {
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.value.lock();
+        let old = std::mem::replace(&mut *guard, value);
+        drop(guard);
+        self.waiters.notify_all();
+        old
+    }
+
+    /// Apply `f` to the value under the serialization lock and return its result.
+    pub fn update<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.value.lock();
+        let r = f(&mut *guard);
+        drop(guard);
+        self.waiters.notify_all();
+        r
+    }
+
+    /// Inspect the value under the lock without mutating it.
+    pub fn read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+        let guard = self.value.lock();
+        f(&*guard)
+    }
+
+    /// Block until `predicate` holds for the stored value, then return `f(value)`.
+    ///
+    /// This is the "notify condition on solution" primitive the paper's
+    /// parallel memoization (§4.5) registers when a sub-result is already
+    /// *in progress* on another thread.
+    pub fn wait_until<R>(&self, predicate: impl Fn(&T) -> bool, f: impl FnOnce(&T) -> R) -> R {
+        self.accesses.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.value.lock();
+        while !predicate(&*guard) {
+            self.waiters.wait(&mut guard);
+        }
+        f(&*guard)
+    }
+
+    /// Number of serialized accesses served so far.
+    pub fn access_count(&self) -> u64 {
+        self.accesses.load(Ordering::Relaxed)
+    }
+
+    /// Consume the cell and return the inner value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let c = SerCell::new(7u32);
+        assert_eq!(c.get(), 7);
+        assert_eq!(c.set(9), 7);
+        assert_eq!(c.get(), 9);
+        assert_eq!(c.into_inner(), 9);
+    }
+
+    #[test]
+    fn update_returns_closure_result() {
+        let c = SerCell::new(vec![1, 2, 3]);
+        let len = c.update(|v| {
+            v.push(4);
+            v.len()
+        });
+        assert_eq!(len, 4);
+        assert_eq!(c.read(|v| v.clone()), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn concurrent_increments_are_serialized() {
+        let c = Arc::new(SerCell::new(0u64));
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        c.update(|v| *v += 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), threads as u64 * per_thread);
+        assert!(c.access_count() >= threads as u64 * per_thread);
+    }
+
+    #[test]
+    fn wait_until_blocks_until_predicate() {
+        let c = Arc::new(SerCell::new(Option::<u32>::None));
+        let reader = {
+            let c = Arc::clone(&c);
+            thread::spawn(move || c.wait_until(|v| v.is_some(), |v| v.unwrap()))
+        };
+        thread::sleep(std::time::Duration::from_millis(20));
+        c.set(Some(42));
+        assert_eq!(reader.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn access_count_increments() {
+        let c = SerCell::new(1u8);
+        let before = c.access_count();
+        let _ = c.get();
+        let _ = c.get();
+        assert_eq!(c.access_count(), before + 2);
+    }
+}

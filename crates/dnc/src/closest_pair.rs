@@ -1,0 +1,165 @@
+//! Closest pair of points in the plane by divide and conquer.
+//!
+//! After an initial sort by `x` the recursion follows the case-2 recurrence
+//! `T(n) = 2T(n/2) + Θ(n)`: the two halves become pal-threads and the strip
+//! check around the dividing line is the sequential merge.  A quadratic
+//! brute-force scan is used as the oracle in tests.
+
+use lopram_core::Executor;
+
+/// A point in the plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Create a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Brute-force closest-pair distance, `O(n²)`; the oracle for tests and the
+/// base case of the recursion.
+pub fn brute_force(points: &[Point]) -> f64 {
+    let mut best = f64::INFINITY;
+    for i in 0..points.len() {
+        for j in i + 1..points.len() {
+            best = best.min(points[i].distance(&points[j]));
+        }
+    }
+    best
+}
+
+/// Sequential divide-and-conquer closest pair.
+pub fn closest_pair_seq(points: &[Point]) -> f64 {
+    closest_pair(&lopram_core::SeqExecutor, points)
+}
+
+/// Pal-thread closest pair: returns the smallest pairwise distance, or
+/// `f64::INFINITY` for fewer than two points.
+pub fn closest_pair<E: Executor>(exec: &E, points: &[Point]) -> f64 {
+    if points.len() < 2 {
+        return f64::INFINITY;
+    }
+    let mut by_x: Vec<Point> = points.to_vec();
+    by_x.sort_by(|a, b| a.x.partial_cmp(&b.x).expect("finite coordinates"));
+    recurse(exec, &by_x, 32)
+}
+
+fn recurse<E: Executor>(exec: &E, points: &[Point], grain: usize) -> f64 {
+    if points.len() <= grain.max(3) {
+        return brute_force(points);
+    }
+    let mid = points.len() / 2;
+    let mid_x = points[mid].x;
+    let (left, right) = points.split_at(mid);
+    let (dl, dr) = exec.join(|| recurse(exec, left, grain), || recurse(exec, right, grain));
+    let mut best = dl.min(dr);
+
+    // Strip check: points within `best` of the dividing line, sorted by y.
+    let mut strip: Vec<Point> = points
+        .iter()
+        .filter(|p| (p.x - mid_x).abs() < best)
+        .copied()
+        .collect();
+    strip.sort_by(|a, b| a.y.partial_cmp(&b.y).expect("finite coordinates"));
+    for i in 0..strip.len() {
+        for j in i + 1..strip.len() {
+            if strip[j].y - strip[i].y >= best {
+                break;
+            }
+            best = best.min(strip[i].distance(&strip[j]));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopram_core::PalPool;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(-1000.0..1000.0), rng.gen_range(-1000.0..1000.0)))
+            .collect()
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(closest_pair_seq(&[]), f64::INFINITY);
+        assert_eq!(closest_pair_seq(&[Point::new(1.0, 1.0)]), f64::INFINITY);
+        let two = [Point::new(0.0, 0.0), Point::new(3.0, 4.0)];
+        assert!((closest_pair_seq(&two) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_inputs() {
+        let pool = PalPool::new(4).unwrap();
+        for n in [10usize, 100, 500, 2000] {
+            let pts = random_points(n, n as u64);
+            let expected = brute_force(&pts);
+            let got = closest_pair(&pool, &pts);
+            assert!(
+                (got - expected).abs() < 1e-9,
+                "n = {n}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_points_give_zero_distance() {
+        let pool = PalPool::new(2).unwrap();
+        let mut pts = random_points(200, 5);
+        pts.push(pts[17]);
+        assert!(closest_pair(&pool, &pts).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collinear_points() {
+        let pts: Vec<Point> = (0..100).map(|i| Point::new(i as f64 * 2.0, 0.0)).collect();
+        assert!((closest_pair_seq(&pts) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn results_identical_for_any_p() {
+        let pts = random_points(3000, 77);
+        let expected = closest_pair_seq(&pts);
+        for p in [1usize, 2, 4, 8] {
+            let pool = PalPool::new(p).unwrap();
+            let got = closest_pair(&pool, &pts);
+            assert!((got - expected).abs() < 1e-9, "p = {p}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_matches_brute_force(
+            coords in proptest::collection::vec((-100i32..100, -100i32..100), 2..80)
+        ) {
+            let pts: Vec<Point> = coords
+                .iter()
+                .map(|&(x, y)| Point::new(x as f64, y as f64))
+                .collect();
+            let pool = PalPool::new(2).unwrap();
+            let expected = brute_force(&pts);
+            let got = closest_pair(&pool, &pts);
+            prop_assert!((got - expected).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! The generic divide-and-conquer framework.
+//!
+//! [`DncProblem`] captures the shape the paper analyses: a problem is either
+//! a base case solved directly, or it is divided into `a` subproblems whose
+//! solutions are merged.  [`solve`] runs the straightforward pal-thread
+//! parallelization — each recursive call becomes a pal-thread, exactly the
+//! `palthreads { … }` transformation of the mergesort example in §3.1 — on
+//! any [`Executor`], and [`DncRun`] reports what the run did (nodes, depth of
+//! the parallel frontier) so experiments can relate it to Figure 2.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lopram_analysis::Recurrence;
+use lopram_core::Executor;
+use parking_lot::Mutex;
+
+/// A divide-and-conquer problem in the sense of §4.1.
+pub trait DncProblem: Sync {
+    /// Input of one (sub)problem.
+    type Input: Send;
+    /// Output of one (sub)problem.
+    type Output: Send;
+
+    /// Size `n` of an input, the quantity the recurrence is written in.
+    fn size(&self, input: &Self::Input) -> usize;
+
+    /// `true` when the input should be solved directly.
+    fn is_base(&self, input: &Self::Input) -> bool;
+
+    /// Solve a base case.
+    fn solve_base(&self, input: Self::Input) -> Self::Output;
+
+    /// Divide an input into `a ≥ 2` subproblems, in creation order.
+    fn divide(&self, input: Self::Input) -> Vec<Self::Input>;
+
+    /// Merge the sub-solutions (given in creation order) into the solution of
+    /// the parent problem.  `size` is the size of the parent input.
+    fn merge(&self, size: usize, outputs: Vec<Self::Output>) -> Self::Output;
+
+    /// The recurrence `T(n) = a·T(n/b) + f(n)` describing the sequential
+    /// algorithm, used to compare measured behaviour against Theorem 1.
+    fn recurrence(&self) -> Recurrence;
+}
+
+/// Statistics gathered while solving a [`DncProblem`].
+#[derive(Debug, Default)]
+pub struct DncRun {
+    /// Number of recursive calls (internal nodes of the execution tree).
+    pub internal_nodes: AtomicU64,
+    /// Number of base cases (leaves of the execution tree).
+    pub leaves: AtomicU64,
+}
+
+impl DncRun {
+    /// New, zeroed statistics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recursive (internal) calls recorded.
+    pub fn internal(&self) -> u64 {
+        self.internal_nodes.load(Ordering::Relaxed)
+    }
+
+    /// Number of base cases recorded.
+    pub fn base_cases(&self) -> u64 {
+        self.leaves.load(Ordering::Relaxed)
+    }
+
+    /// Total nodes of the execution tree.
+    pub fn total_nodes(&self) -> u64 {
+        self.internal() + self.base_cases()
+    }
+}
+
+/// Solve `input` sequentially (the `T(n) = T_1(n)` baseline).
+pub fn solve_sequential<P: DncProblem>(problem: &P, input: P::Input) -> P::Output {
+    let stats = DncRun::new();
+    solve_with(problem, &lopram_core::SeqExecutor, input, &stats)
+}
+
+/// Solve `input` with the straightforward pal-thread parallelization on
+/// `exec`, recording execution statistics in `stats`.
+pub fn solve<P: DncProblem, E: Executor>(
+    problem: &P,
+    exec: &E,
+    input: P::Input,
+    stats: &DncRun,
+) -> P::Output {
+    solve_with(problem, exec, input, stats)
+}
+
+fn solve_with<P: DncProblem, E: Executor>(
+    problem: &P,
+    exec: &E,
+    input: P::Input,
+    stats: &DncRun,
+) -> P::Output {
+    if problem.is_base(&input) {
+        stats.leaves.fetch_add(1, Ordering::Relaxed);
+        return problem.solve_base(input);
+    }
+    stats.internal_nodes.fetch_add(1, Ordering::Relaxed);
+    let size = problem.size(&input);
+    let inputs = problem.divide(input);
+    let count = inputs.len();
+    assert!(count >= 2, "divide() must produce at least two subproblems");
+
+    let outputs: Vec<P::Output> = if count == 2 {
+        // The common binary case maps directly onto `palthreads { a; b; }`.
+        let mut iter = inputs.into_iter();
+        let first = iter.next().expect("two subproblems");
+        let second = iter.next().expect("two subproblems");
+        let (a, b) = exec.join(
+            || solve_with(problem, exec, first, stats),
+            || solve_with(problem, exec, second, stats),
+        );
+        vec![a, b]
+    } else {
+        // a-way palthreads block: recursively join pairs so every recursive
+        // call still becomes its own pal-thread.
+        let slots: Vec<Mutex<Option<P::Output>>> =
+            (0..count).map(|_| Mutex::new(None)).collect();
+        join_all(problem, exec, inputs, &slots, 0, stats);
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every subproblem solved"))
+            .collect()
+    };
+    problem.merge(size, outputs)
+}
+
+fn join_all<P: DncProblem, E: Executor>(
+    problem: &P,
+    exec: &E,
+    mut inputs: Vec<P::Input>,
+    slots: &[Mutex<Option<P::Output>>],
+    offset: usize,
+    stats: &DncRun,
+) {
+    match inputs.len() {
+        0 => {}
+        1 => {
+            let input = inputs.pop().expect("one input");
+            let out = solve_with(problem, exec, input, stats);
+            *slots[offset].lock() = Some(out);
+        }
+        len => {
+            let mid = len / 2;
+            let rest = inputs.split_off(mid);
+            exec.join(
+                || join_all(problem, exec, inputs, slots, offset, stats),
+                || join_all(problem, exec, rest, slots, offset + mid, stats),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopram_analysis::Growth;
+    use lopram_core::{PalPool, SeqExecutor};
+
+    /// Sum of a vector by binary splitting: `T(n) = 2T(n/2) + 1`.
+    struct SumProblem;
+
+    impl DncProblem for SumProblem {
+        type Input = Vec<i64>;
+        type Output = i64;
+
+        fn size(&self, input: &Vec<i64>) -> usize {
+            input.len()
+        }
+
+        fn is_base(&self, input: &Vec<i64>) -> bool {
+            input.len() <= 4
+        }
+
+        fn solve_base(&self, input: Vec<i64>) -> i64 {
+            input.iter().sum()
+        }
+
+        fn divide(&self, mut input: Vec<i64>) -> Vec<Vec<i64>> {
+            let rest = input.split_off(input.len() / 2);
+            vec![input, rest]
+        }
+
+        fn merge(&self, _size: usize, outputs: Vec<i64>) -> i64 {
+            outputs.iter().sum()
+        }
+
+        fn recurrence(&self) -> Recurrence {
+            Recurrence::new(2, 2, Growth::constant(1.0))
+        }
+    }
+
+    /// Four-way sum, to exercise the a > 2 path.
+    struct FourWaySum;
+
+    impl DncProblem for FourWaySum {
+        type Input = Vec<i64>;
+        type Output = i64;
+
+        fn size(&self, input: &Vec<i64>) -> usize {
+            input.len()
+        }
+
+        fn is_base(&self, input: &Vec<i64>) -> bool {
+            input.len() <= 3
+        }
+
+        fn solve_base(&self, input: Vec<i64>) -> i64 {
+            input.iter().sum()
+        }
+
+        fn divide(&self, input: Vec<i64>) -> Vec<Vec<i64>> {
+            let quarter = (input.len() / 4).max(1);
+            let mut parts = Vec::new();
+            let mut rest = input;
+            for _ in 0..3 {
+                if rest.len() > quarter {
+                    let tail = rest.split_off(quarter);
+                    parts.push(rest);
+                    rest = tail;
+                } else {
+                    break;
+                }
+            }
+            parts.push(rest);
+            parts
+        }
+
+        fn merge(&self, _size: usize, outputs: Vec<i64>) -> i64 {
+            outputs.iter().sum()
+        }
+
+        fn recurrence(&self) -> Recurrence {
+            Recurrence::new(4, 4, Growth::constant(1.0))
+        }
+    }
+
+    #[test]
+    fn sequential_solve_sums_correctly() {
+        let data: Vec<i64> = (1..=1000).collect();
+        assert_eq!(solve_sequential(&SumProblem, data), 500_500);
+    }
+
+    #[test]
+    fn parallel_solve_matches_sequential() {
+        let data: Vec<i64> = (1..=10_000).collect();
+        let pool = PalPool::new(4).unwrap();
+        let stats = DncRun::new();
+        let par = solve(&SumProblem, &pool, data.clone(), &stats);
+        let seq = solve_sequential(&SumProblem, data);
+        assert_eq!(par, seq);
+        assert!(stats.total_nodes() > 0);
+    }
+
+    #[test]
+    fn statistics_count_tree_nodes() {
+        // 16 elements with base size 4: 4 leaves + 3 internal nodes.
+        let data: Vec<i64> = (0..16).collect();
+        let stats = DncRun::new();
+        let _ = solve(&SumProblem, &SeqExecutor, data, &stats);
+        assert_eq!(stats.base_cases(), 4);
+        assert_eq!(stats.internal(), 3);
+        assert_eq!(stats.total_nodes(), 7);
+    }
+
+    #[test]
+    fn multiway_divide_works_on_every_executor() {
+        let data: Vec<i64> = (1..=999).collect();
+        let expected: i64 = data.iter().sum();
+        let stats = DncRun::new();
+        assert_eq!(solve(&FourWaySum, &SeqExecutor, data.clone(), &stats), expected);
+        let pool = PalPool::new(3).unwrap();
+        let stats = DncRun::new();
+        assert_eq!(solve(&FourWaySum, &pool, data, &stats), expected);
+    }
+
+    #[test]
+    fn results_identical_for_every_p() {
+        let data: Vec<i64> = (0..5000).map(|i| (i * 7919) % 1013 - 500).collect();
+        let expected = solve_sequential(&SumProblem, data.clone());
+        for p in [1usize, 2, 3, 4, 8] {
+            let pool = PalPool::new(p).unwrap();
+            let stats = DncRun::new();
+            assert_eq!(solve(&SumProblem, &pool, data.clone(), &stats), expected);
+        }
+    }
+
+    #[test]
+    fn recurrence_classification_is_available_to_users() {
+        use lopram_analysis::{sequential_master_bound, MasterCase};
+        let rec = SumProblem.recurrence();
+        assert_eq!(lopram_analysis::master::classify(&rec), MasterCase::Case1);
+        assert!(sequential_master_bound(&rec).is_some());
+    }
+}

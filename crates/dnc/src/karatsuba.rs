@@ -1,0 +1,219 @@
+//! Karatsuba polynomial multiplication — Master-theorem case 1.
+//!
+//! Polynomials are dense coefficient vectors over `i64` (products are
+//! accumulated in `i128` to stay exact).  Karatsuba replaces the four
+//! half-size products of the naive split with three, giving
+//! `T(n) = 3T(n/2) + Θ(n)` — case 1, so Theorem 1 promises `O(T(n)/p)` when
+//! the three recursive products become pal-threads.  [`schoolbook_mul`] is
+//! the `Θ(n²)` oracle used by tests.
+
+use lopram_core::Executor;
+
+/// Multiply two coefficient vectors with the `Θ(n²)` schoolbook algorithm.
+pub fn schoolbook_mul(a: &[i64], b: &[i64]) -> Vec<i64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0i128; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x as i128 * y as i128;
+        }
+    }
+    out.into_iter()
+        .map(|c| i64::try_from(c).expect("coefficient overflow in schoolbook_mul"))
+        .collect()
+}
+
+/// Sequential Karatsuba multiplication.
+pub fn karatsuba_mul_seq(a: &[i64], b: &[i64]) -> Vec<i64> {
+    karatsuba_mul(&lopram_core::SeqExecutor, a, b)
+}
+
+/// Pal-thread Karatsuba multiplication: the three recursive products are
+/// created as pal-threads.
+pub fn karatsuba_mul<E: Executor>(exec: &E, a: &[i64], b: &[i64]) -> Vec<i64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    karatsuba(exec, a, b, 32)
+}
+
+/// Pal-thread Karatsuba with an explicit base-case threshold.
+pub fn karatsuba_mul_with_grain<E: Executor>(
+    exec: &E,
+    a: &[i64],
+    b: &[i64],
+    grain: usize,
+) -> Vec<i64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    karatsuba(exec, a, b, grain.max(1))
+}
+
+fn karatsuba<E: Executor>(exec: &E, a: &[i64], b: &[i64], grain: usize) -> Vec<i64> {
+    let n = a.len().max(b.len());
+    if n <= grain {
+        return schoolbook_mul(a, b);
+    }
+    let half = n.div_ceil(2);
+    let (a_lo, a_hi) = split(a, half);
+    let (b_lo, b_hi) = split(b, half);
+    let a_sum = add(a_lo, a_hi);
+    let b_sum = add(b_lo, b_hi);
+
+    // palthreads { low = a_lo*b_lo ; high = a_hi*b_hi ; mid = (a_lo+a_hi)(b_lo+b_hi) }
+    let ((low, high), mid) = exec.join(
+        || {
+            exec.join(
+                || karatsuba(exec, a_lo, b_lo, grain),
+                || karatsuba(exec, a_hi, b_hi, grain),
+            )
+        },
+        || karatsuba(exec, &a_sum, &b_sum, grain),
+    );
+
+    // mid - low - high is the cross term.
+    let mut cross = mid;
+    sub_assign(&mut cross, &low);
+    sub_assign(&mut cross, &high);
+
+    let mut out = vec![0i64; a.len() + b.len() - 1];
+    add_shifted(&mut out, &low, 0);
+    add_shifted(&mut out, &cross, half);
+    add_shifted(&mut out, &high, 2 * half);
+    out
+}
+
+fn split(poly: &[i64], half: usize) -> (&[i64], &[i64]) {
+    if poly.len() <= half {
+        (poly, &[])
+    } else {
+        poly.split_at(half)
+    }
+}
+
+fn add(a: &[i64], b: &[i64]) -> Vec<i64> {
+    let n = a.len().max(b.len());
+    let mut out = vec![0i64; n];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        *slot = x + y;
+    }
+    out
+}
+
+fn sub_assign(target: &mut Vec<i64>, other: &[i64]) {
+    if target.len() < other.len() {
+        target.resize(other.len(), 0);
+    }
+    for (i, &v) in other.iter().enumerate() {
+        target[i] -= v;
+    }
+}
+
+fn add_shifted(out: &mut [i64], poly: &[i64], shift: usize) {
+    for (i, &v) in poly.iter().enumerate() {
+        if v != 0 {
+            out[i + shift] += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopram_core::{PalPool, SeqExecutor};
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    fn random_poly(n: usize, seed: u64) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-100..100)).collect()
+    }
+
+    #[test]
+    fn schoolbook_known_product() {
+        // (1 + 2x)(3 + 4x) = 3 + 10x + 8x².
+        assert_eq!(schoolbook_mul(&[1, 2], &[3, 4]), vec![3, 10, 8]);
+        assert_eq!(schoolbook_mul(&[], &[1, 2]), Vec::<i64>::new());
+        assert_eq!(schoolbook_mul(&[5], &[7]), vec![35]);
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook_small() {
+        let a = vec![1, -2, 3, 4];
+        let b = vec![-5, 6, 7];
+        assert_eq!(karatsuba_mul_seq(&a, &b), schoolbook_mul(&a, &b));
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook_random() {
+        let pool = PalPool::new(4).unwrap();
+        for n in [1usize, 2, 7, 31, 64, 200, 513] {
+            let a = random_poly(n, n as u64);
+            let b = random_poly(n + 3, n as u64 + 1000);
+            assert_eq!(
+                karatsuba_mul(&pool, &a, &b),
+                schoolbook_mul(&a, &b),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn unequal_lengths_and_zeros() {
+        let a = vec![0, 0, 0, 1];
+        let b = vec![1];
+        assert_eq!(karatsuba_mul_seq(&a, &b), vec![0, 0, 0, 1]);
+        let z = vec![0i64; 50];
+        let r = random_poly(50, 9);
+        assert_eq!(karatsuba_mul_seq(&z, &r), vec![0i64; 99]);
+    }
+
+    #[test]
+    fn small_grain_forces_deep_recursion() {
+        let a = random_poly(100, 1);
+        let b = random_poly(100, 2);
+        assert_eq!(
+            karatsuba_mul_with_grain(&SeqExecutor, &a, &b, 1),
+            schoolbook_mul(&a, &b)
+        );
+    }
+
+    #[test]
+    fn results_identical_for_any_p() {
+        let a = random_poly(400, 21);
+        let b = random_poly(300, 22);
+        let expected = schoolbook_mul(&a, &b);
+        for p in [1usize, 2, 3, 4, 8] {
+            let pool = PalPool::new(p).unwrap();
+            assert_eq!(karatsuba_mul(&pool, &a, &b), expected, "p = {p}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_schoolbook(
+            a in proptest::collection::vec(-50i64..50, 1..120),
+            b in proptest::collection::vec(-50i64..50, 1..120)
+        ) {
+            let pool = PalPool::new(2).unwrap();
+            prop_assert_eq!(
+                karatsuba_mul_with_grain(&pool, &a, &b, 4),
+                schoolbook_mul(&a, &b)
+            );
+        }
+
+        #[test]
+        fn prop_multiplication_is_commutative(
+            a in proptest::collection::vec(-50i64..50, 1..80),
+            b in proptest::collection::vec(-50i64..50, 1..80)
+        ) {
+            prop_assert_eq!(karatsuba_mul_seq(&a, &b), karatsuba_mul_seq(&b, &a));
+        }
+    }
+}

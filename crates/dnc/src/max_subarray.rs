@@ -1,0 +1,176 @@
+//! Maximum contiguous subarray sum by divide and conquer.
+//!
+//! The classic `T(n) = 2T(n/2) + Θ(n)` (case 2) formulation: each half is a
+//! pal-thread, and the crossing sum is computed sequentially by the parent.
+//! Kadane's linear scan is included as the correctness oracle for tests.
+
+use lopram_core::Executor;
+
+/// Summary of a segment used to combine divide-and-conquer results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentSummary {
+    /// Best subarray sum fully inside the segment (empty subarray allowed: 0).
+    pub best: i64,
+    /// Best prefix sum of the segment.
+    pub prefix: i64,
+    /// Best suffix sum of the segment.
+    pub suffix: i64,
+    /// Total sum of the segment.
+    pub total: i64,
+}
+
+impl SegmentSummary {
+    fn leaf(values: &[i64]) -> Self {
+        let mut best = 0;
+        let mut cur = 0;
+        let mut prefix = 0;
+        let mut run = 0;
+        for &v in values {
+            cur = (cur + v).max(0);
+            best = best.max(cur);
+            run += v;
+            prefix = prefix.max(run);
+        }
+        let mut suffix = 0;
+        let mut run = 0;
+        for &v in values.iter().rev() {
+            run += v;
+            suffix = suffix.max(run);
+        }
+        SegmentSummary {
+            best,
+            prefix,
+            suffix,
+            total: values.iter().sum(),
+        }
+    }
+
+    /// Combine the summaries of two adjacent segments.
+    pub fn combine(left: SegmentSummary, right: SegmentSummary) -> SegmentSummary {
+        SegmentSummary {
+            best: left
+                .best
+                .max(right.best)
+                .max(left.suffix + right.prefix),
+            prefix: left.prefix.max(left.total + right.prefix),
+            suffix: right.suffix.max(right.total + left.suffix),
+            total: left.total + right.total,
+        }
+    }
+}
+
+/// Sequential divide-and-conquer maximum subarray sum (empty subarray counts
+/// as 0, so the result is never negative).
+pub fn max_subarray_seq(values: &[i64]) -> i64 {
+    summarize(&lopram_core::SeqExecutor, values, 64).best
+}
+
+/// Pal-thread maximum subarray sum.
+pub fn max_subarray<E: Executor>(exec: &E, values: &[i64]) -> i64 {
+    summarize(exec, values, 256).best
+}
+
+/// Pal-thread maximum subarray with an explicit sequential grain.
+pub fn max_subarray_with_grain<E: Executor>(exec: &E, values: &[i64], grain: usize) -> i64 {
+    summarize(exec, values, grain.max(1)).best
+}
+
+fn summarize<E: Executor>(exec: &E, values: &[i64], grain: usize) -> SegmentSummary {
+    if values.len() <= grain {
+        return SegmentSummary::leaf(values);
+    }
+    let mid = values.len() / 2;
+    let (left, right) = values.split_at(mid);
+    let (ls, rs) = exec.join(
+        || summarize(exec, left, grain),
+        || summarize(exec, right, grain),
+    );
+    SegmentSummary::combine(ls, rs)
+}
+
+/// Kadane's linear-time maximum subarray sum, the oracle used in tests.
+pub fn kadane(values: &[i64]) -> i64 {
+    let mut best = 0i64;
+    let mut cur = 0i64;
+    for &v in values {
+        cur = (cur + v).max(0);
+        best = best.max(cur);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopram_core::{PalPool, SeqExecutor};
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    #[test]
+    fn known_small_cases() {
+        assert_eq!(max_subarray_seq(&[]), 0);
+        assert_eq!(max_subarray_seq(&[-5]), 0);
+        assert_eq!(max_subarray_seq(&[3]), 3);
+        assert_eq!(max_subarray_seq(&[-2, 1, -3, 4, -1, 2, 1, -5, 4]), 6);
+        assert_eq!(max_subarray_seq(&[-1, -2, -3]), 0);
+        assert_eq!(max_subarray_seq(&[1, 2, 3, 4]), 10);
+    }
+
+    #[test]
+    fn divide_and_conquer_matches_kadane_on_random_input() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let values: Vec<i64> = (0..50_000).map(|_| rng.gen_range(-100..100)).collect();
+        let pool = PalPool::new(4).unwrap();
+        assert_eq!(max_subarray(&pool, &values), kadane(&values));
+        assert_eq!(max_subarray_seq(&values), kadane(&values));
+    }
+
+    #[test]
+    fn summary_combine_is_consistent_with_concatenation() {
+        let a = [3i64, -1, 2];
+        let b = [-4i64, 5, -2, 6];
+        let combined = SegmentSummary::combine(SegmentSummary::leaf(&a), SegmentSummary::leaf(&b));
+        let concat: Vec<i64> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(combined.best, kadane(&concat));
+        assert_eq!(combined.total, concat.iter().sum::<i64>());
+    }
+
+    #[test]
+    fn results_identical_for_any_p() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let values: Vec<i64> = (0..20_000).map(|_| rng.gen_range(-50..50)).collect();
+        let expected = kadane(&values);
+        for p in [1usize, 2, 4, 8] {
+            let pool = PalPool::new(p).unwrap();
+            assert_eq!(max_subarray(&pool, &values), expected, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn small_grain_still_correct() {
+        let values: Vec<i64> = vec![5, -9, 6, -2, 3, -1, 8, -20, 4, 4];
+        assert_eq!(
+            max_subarray_with_grain(&SeqExecutor, &values, 1),
+            kadane(&values)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_kadane(values in proptest::collection::vec(-1000i64..1000, 0..400)) {
+            let pool = PalPool::new(3).unwrap();
+            prop_assert_eq!(max_subarray_with_grain(&pool, &values, 8), kadane(&values));
+        }
+
+        #[test]
+        fn prop_result_is_achievable_or_zero(values in proptest::collection::vec(-100i64..100, 1..200)) {
+            let best = max_subarray_seq(&values);
+            prop_assert!(best >= 0);
+            // The best sum is at least every single element.
+            for &v in &values {
+                prop_assert!(best >= v.max(0));
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Mergesort — the paper's flagship example (§3.1, Figure 1).
+//!
+//! `merge_sort` is the literal Rust translation of the paper's
+//! `m_sort`/`palthreads` listing: the two recursive calls become pal-threads
+//! and the merge runs sequentially in the parent, giving the case-2
+//! recurrence `T(n) = 2T(n/2) + n` and hence `T_p(n) = O(T(n)/p)`
+//! (Theorem 1).  `merge_sort_parallel_merge` additionally parallelises the
+//! merge itself by splitting around the median of the larger half, which is
+//! the ingredient the paper's Eq. 5 needs in general (for mergesort it only
+//! improves constants, since case 2 is already work-optimal).
+
+use lopram_core::Executor;
+
+/// Size below which recursion switches to a simple insertion sort.  The
+/// paper's model charges unit cost per element; on real hardware a small
+/// sequential grain avoids drowning in pal-thread bookkeeping.
+pub const DEFAULT_GRAIN: usize = 64;
+
+/// Sequential mergesort (the `T_1` baseline).
+pub fn merge_sort_seq<T: Ord + Copy>(data: &mut [T]) {
+    let mut temp = data.to_vec();
+    msort_seq(data, &mut temp);
+}
+
+fn msort_seq<T: Ord + Copy>(data: &mut [T], temp: &mut [T]) {
+    if data.len() <= 16 {
+        insertion_sort(data);
+        return;
+    }
+    let n = data.len();
+    let mid = n / 2;
+    let (dl, dr) = data.split_at_mut(mid);
+    let (tl, tr) = temp.split_at_mut(mid);
+    msort_seq(dl, tl);
+    msort_seq(dr, tr);
+    merge_into(dl, dr, temp);
+    data.copy_from_slice(&temp[..n]);
+}
+
+/// Pal-thread mergesort with a sequential merge (the paper's listing).
+pub fn merge_sort<T, E>(exec: &E, data: &mut [T])
+where
+    T: Ord + Copy + Send + Sync,
+    E: Executor,
+{
+    merge_sort_with_grain(exec, data, DEFAULT_GRAIN);
+}
+
+/// Pal-thread mergesort with an explicit sequential-cutoff grain.
+pub fn merge_sort_with_grain<T, E>(exec: &E, data: &mut [T], grain: usize)
+where
+    T: Ord + Copy + Send + Sync,
+    E: Executor,
+{
+    let mut temp = data.to_vec();
+    msort_par(exec, data, &mut temp, grain.max(2), false);
+}
+
+/// Pal-thread mergesort whose merge phase is itself parallelised (Eq. 5).
+pub fn merge_sort_parallel_merge<T, E>(exec: &E, data: &mut [T])
+where
+    T: Ord + Copy + Send + Sync,
+    E: Executor,
+{
+    let mut temp = data.to_vec();
+    msort_par(exec, data, &mut temp, DEFAULT_GRAIN, true);
+}
+
+fn msort_par<T, E>(exec: &E, data: &mut [T], temp: &mut [T], grain: usize, parallel_merge: bool)
+where
+    T: Ord + Copy + Send + Sync,
+    E: Executor,
+{
+    if data.len() <= grain {
+        insertion_sort(data);
+        return;
+    }
+    let n = data.len();
+    let mid = n / 2;
+    let (dl, dr) = data.split_at_mut(mid);
+    let (tl, tr) = temp.split_at_mut(mid);
+    // palthreads { m_sort(left); m_sort(right); }
+    exec.join(
+        || msort_par(exec, dl, tl, grain, parallel_merge),
+        || msort_par(exec, dr, tr, grain, parallel_merge),
+    );
+    if parallel_merge {
+        merge_parallel(exec, dl, dr, temp, grain);
+    } else {
+        merge_into(dl, dr, temp);
+    }
+    data.copy_from_slice(&temp[..n]);
+}
+
+/// Merge two sorted runs into `out` (sequentially).
+pub fn merge_into<T: Ord + Copy>(left: &[T], right: &[T], out: &mut [T]) {
+    debug_assert!(out.len() >= left.len() + right.len());
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < left.len() && j < right.len() {
+        if left[i] <= right[j] {
+            out[k] = left[i];
+            i += 1;
+        } else {
+            out[k] = right[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    while i < left.len() {
+        out[k] = left[i];
+        i += 1;
+        k += 1;
+    }
+    while j < right.len() {
+        out[k] = right[j];
+        j += 1;
+        k += 1;
+    }
+}
+
+/// Merge two sorted runs into `out`, splitting the work across pal-threads:
+/// the larger run is cut at its median, the smaller run is cut at the
+/// corresponding binary-search position, and the two halves are merged as
+/// independent pal-threads.
+pub fn merge_parallel<T, E>(exec: &E, left: &[T], right: &[T], out: &mut [T], grain: usize)
+where
+    T: Ord + Copy + Send + Sync,
+    E: Executor,
+{
+    let total = left.len() + right.len();
+    if total <= grain.max(2) || left.is_empty() || right.is_empty() {
+        merge_into(left, right, &mut out[..total]);
+        return;
+    }
+    // Cut the larger run at its midpoint and the smaller one by binary search.
+    let (l_split, r_split) = if left.len() >= right.len() {
+        let lm = left.len() / 2;
+        (lm, right.partition_point(|x| *x < left[lm]))
+    } else {
+        let rm = right.len() / 2;
+        (left.partition_point(|x| *x <= right[rm]), rm)
+    };
+    let cut = l_split + r_split;
+    let (left_lo, left_hi) = left.split_at(l_split);
+    let (right_lo, right_hi) = right.split_at(r_split);
+    let (out_lo, out_hi) = out.split_at_mut(cut);
+    exec.join(
+        || merge_parallel(exec, left_lo, right_lo, out_lo, grain),
+        || merge_parallel(exec, left_hi, right_hi, out_hi, grain),
+    );
+}
+
+fn insertion_sort<T: Ord + Copy>(data: &mut [T]) {
+    for i in 1..data.len() {
+        let key = data[i];
+        let mut j = i;
+        while j > 0 && data[j - 1] > key {
+            data[j] = data[j - 1];
+            j -= 1;
+        }
+        data[j] = key;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopram_core::{PalPool, SeqExecutor};
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    fn random_vec(n: usize, seed: u64) -> Vec<i64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect()
+    }
+
+    #[test]
+    fn sequential_sorts() {
+        let mut v = random_vec(1000, 1);
+        let mut expected = v.clone();
+        expected.sort();
+        merge_sort_seq(&mut v);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn parallel_sorts_match_std_sort() {
+        let pool = PalPool::new(4).unwrap();
+        for n in [0usize, 1, 2, 17, 128, 1000, 4097] {
+            let mut v = random_vec(n, n as u64);
+            let mut expected = v.clone();
+            expected.sort();
+            merge_sort(&pool, &mut v);
+            assert_eq!(v, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn parallel_merge_variant_sorts() {
+        let pool = PalPool::new(4).unwrap();
+        let mut v = random_vec(10_000, 99);
+        let mut expected = v.clone();
+        expected.sort();
+        merge_sort_parallel_merge(&pool, &mut v);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn works_on_sequential_executor() {
+        let mut v = random_vec(500, 7);
+        let mut expected = v.clone();
+        expected.sort();
+        merge_sort(&SeqExecutor, &mut v);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn sorts_already_sorted_and_reversed_inputs() {
+        let pool = PalPool::new(2).unwrap();
+        let mut asc: Vec<i64> = (0..2000).collect();
+        let expected = asc.clone();
+        merge_sort(&pool, &mut asc);
+        assert_eq!(asc, expected);
+
+        let mut desc: Vec<i64> = (0..2000).rev().collect();
+        merge_sort(&pool, &mut desc);
+        assert_eq!(desc, expected);
+    }
+
+    #[test]
+    fn sorts_with_duplicates() {
+        let pool = PalPool::new(4).unwrap();
+        let mut v: Vec<i64> = (0..5000).map(|i| i % 7).collect();
+        let mut expected = v.clone();
+        expected.sort();
+        merge_sort(&pool, &mut v);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn merge_into_handles_empty_sides() {
+        let mut out = vec![0; 3];
+        merge_into(&[], &[1, 2, 3], &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        merge_into(&[1, 2, 3], &[], &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_parallel_equals_sequential_merge() {
+        let pool = PalPool::new(4).unwrap();
+        let left: Vec<i64> = (0..1000).map(|i| i * 2).collect();
+        let right: Vec<i64> = (0..800).map(|i| i * 3 + 1).collect();
+        let mut out_seq = vec![0i64; 1800];
+        let mut out_par = vec![0i64; 1800];
+        merge_into(&left, &right, &mut out_seq);
+        merge_parallel(&pool, &left, &right, &mut out_par, 32);
+        assert_eq!(out_seq, out_par);
+    }
+
+    #[test]
+    fn results_identical_for_any_p() {
+        let reference = {
+            let mut v = random_vec(3000, 42);
+            v.sort();
+            v
+        };
+        for p in [1usize, 2, 3, 5, 8] {
+            let pool = PalPool::new(p).unwrap();
+            let mut v = random_vec(3000, 42);
+            merge_sort(&pool, &mut v);
+            assert_eq!(v, reference, "p = {p}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_parallel_sort_is_a_sorted_permutation(mut v in proptest::collection::vec(-1000i64..1000, 0..500)) {
+            let pool = PalPool::new(3).unwrap();
+            let mut expected = v.clone();
+            expected.sort();
+            merge_sort_with_grain(&pool, &mut v, 8);
+            prop_assert_eq!(v, expected);
+        }
+
+        #[test]
+        fn prop_parallel_merge_merges(mut a in proptest::collection::vec(-500i64..500, 0..300),
+                                      mut b in proptest::collection::vec(-500i64..500, 0..300)) {
+            a.sort();
+            b.sort();
+            let mut expected: Vec<i64> = a.iter().chain(b.iter()).copied().collect();
+            expected.sort();
+            let mut out = vec![0i64; a.len() + b.len()];
+            merge_parallel(&SeqExecutor, &a, &b, &mut out, 4);
+            prop_assert_eq!(out, expected);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Bottom-up schedulers for [`DpProblem`]s: sequential, wavefront
+//! (antichain-by-antichain) and the counter-based Algorithm 1.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use lopram_analysis::Dag;
+use lopram_core::Executor;
+use parking_lot::Mutex;
+
+use crate::spec::DpProblem;
+
+/// The fully evaluated table of a dynamic program plus its goal value.
+#[derive(Debug, Clone)]
+pub struct DpSolution<V> {
+    /// Value of every cell, indexed by cell id.
+    pub values: Vec<V>,
+    /// Value of the goal cell.
+    pub goal: V,
+}
+
+/// Build the dependency DAG of `problem` (§4.3): edge `y → x` for every
+/// dependency `y ≺ x`, i.e. edges point in the direction of computation.
+///
+/// The graph construction itself is embarrassingly parallel (§4.4 notes it
+/// takes `O(m·n^d / p)`); here the per-cell dependency lists are gathered
+/// with `exec` and assembled into the adjacency structure afterwards.
+pub fn dependency_dag<P: DpProblem, E: Executor>(problem: &P, exec: &E) -> Dag {
+    let n = problem.num_cells();
+    let deps: Vec<Mutex<Vec<usize>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+    exec.for_each_index(0..n, |cell| {
+        *deps[cell].lock() = problem.dependencies(cell);
+    });
+    let mut dag = Dag::new(n);
+    for (cell, cell_deps) in deps.iter().enumerate() {
+        for &d in cell_deps.lock().iter() {
+            dag.add_edge(d, cell);
+        }
+    }
+    dag
+}
+
+/// Evaluate the table bottom-up on one processor, in a topological order of
+/// the dependency DAG.  This is the `T_1` baseline of §4.6.
+pub fn solve_sequential<P: DpProblem>(problem: &P) -> DpSolution<P::Value> {
+    let n = problem.num_cells();
+    assert!(n > 0, "a dynamic program needs at least one cell");
+    let dag = dependency_dag(problem, &lopram_core::SeqExecutor);
+    let order = dag
+        .topological_order()
+        .expect("dependency graph must be acyclic");
+    let mut values: Vec<Option<P::Value>> = vec![None; n];
+    for cell in order {
+        let get = |i: usize| {
+            values[i]
+                .clone()
+                .expect("dependency computed before dependant in topological order")
+        };
+        let v = problem.compute(cell, &get);
+        values[cell] = Some(v);
+    }
+    finish(problem, values.into_iter().map(|v| v.expect("all cells computed")).collect())
+}
+
+/// Evaluate the table antichain by antichain (§4.3): the cells of one level
+/// of the Mirsky decomposition are mutually independent and are computed in
+/// parallel with `exec`; levels are processed in order.
+pub fn solve_wavefront<P: DpProblem, E: Executor>(problem: &P, exec: &E) -> DpSolution<P::Value> {
+    let n = problem.num_cells();
+    assert!(n > 0, "a dynamic program needs at least one cell");
+    let dag = dependency_dag(problem, exec);
+    let levels = dag.levels();
+    let table: Vec<OnceLock<P::Value>> = (0..n).map(|_| OnceLock::new()).collect();
+    for antichain in &levels.antichains {
+        exec.for_each_index(0..antichain.len(), |k| {
+            let cell = antichain[k];
+            let get = |i: usize| {
+                table[i]
+                    .get()
+                    .expect("dependency belongs to an earlier antichain")
+                    .clone()
+            };
+            let value = problem.compute(cell, &get);
+            table[cell]
+                .set(value)
+                .unwrap_or_else(|_| panic!("cell {cell} computed twice"));
+        });
+    }
+    collect(problem, table)
+}
+
+/// The paper's Algorithm 1: every cell carries a counter of outstanding
+/// dependencies; when a processor finishes a cell it decrements the counters
+/// of the cells that depend on it and ready cells are picked up by the
+/// available processors in creation order.
+pub fn solve_counter<P: DpProblem, E: Executor>(problem: &P, exec: &E) -> DpSolution<P::Value> {
+    let n = problem.num_cells();
+    assert!(n > 0, "a dynamic program needs at least one cell");
+    let dag = dependency_dag(problem, exec);
+    assert!(dag.is_acyclic(), "dependency graph must be acyclic");
+
+    // cv ← in-degree of v (number of vertices v depends on).
+    let counters: Vec<AtomicUsize> = dag
+        .in_degrees()
+        .into_iter()
+        .map(AtomicUsize::new)
+        .collect();
+    let table: Vec<OnceLock<P::Value>> = (0..n).map(|_| OnceLock::new()).collect();
+    // Ready queue seeded with the base cases (in-degree 0), in creation order.
+    let ready: Mutex<std::collections::VecDeque<usize>> = Mutex::new(
+        counters
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.load(Ordering::Relaxed) == 0)
+            .map(|(v, _)| v)
+            .collect(),
+    );
+    let remaining = AtomicUsize::new(n);
+
+    let p = exec.processors();
+    // One worker loop per processor: each worker repeatedly takes a ready
+    // cell, computes it and releases the cells that become ready — the
+    // `computeVertex` routine of Algorithm 1 executed by whichever processor
+    // is available.
+    exec.for_each_index(0..p, |_| loop {
+        if remaining.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        let next = ready.lock().pop_front();
+        let Some(cell) = next else {
+            std::thread::yield_now();
+            continue;
+        };
+        let get = |i: usize| {
+            table[i]
+                .get()
+                .expect("counter reached zero only after all dependencies completed")
+                .clone()
+        };
+        let value = problem.compute(cell, &get);
+        table[cell]
+            .set(value)
+            .unwrap_or_else(|_| panic!("cell {cell} computed twice"));
+        remaining.fetch_sub(1, Ordering::AcqRel);
+        for &succ in dag.successors(cell) {
+            if counters[succ].fetch_sub(1, Ordering::AcqRel) == 1 {
+                ready.lock().push_back(succ);
+            }
+        }
+    });
+    collect(problem, table)
+}
+
+fn collect<P: DpProblem>(problem: &P, table: Vec<OnceLock<P::Value>>) -> DpSolution<P::Value> {
+    let values: Vec<P::Value> = table
+        .into_iter()
+        .enumerate()
+        .map(|(i, cell)| {
+            cell.into_inner()
+                .unwrap_or_else(|| panic!("cell {i} was never computed"))
+        })
+        .collect();
+    finish(problem, values)
+}
+
+fn finish<P: DpProblem>(problem: &P, values: Vec<P::Value>) -> DpSolution<P::Value> {
+    let goal = values[problem.goal_cell()].clone();
+    DpSolution { values, goal }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopram_core::{PalPool, SeqExecutor};
+
+    /// Pascal's triangle laid out row by row: C(r, c) = C(r-1, c-1) + C(r-1, c).
+    struct Pascal {
+        rows: usize,
+    }
+
+    impl Pascal {
+        fn id(&self, r: usize, c: usize) -> usize {
+            r * (r + 1) / 2 + c
+        }
+    }
+
+    impl DpProblem for Pascal {
+        type Value = u64;
+
+        fn num_cells(&self) -> usize {
+            self.rows * (self.rows + 1) / 2
+        }
+
+        fn dependencies(&self, cell: usize) -> Vec<usize> {
+            let (r, c) = row_col(cell);
+            if c == 0 || c == r {
+                vec![]
+            } else {
+                vec![self.id(r - 1, c - 1), self.id(r - 1, c)]
+            }
+        }
+
+        fn compute(&self, cell: usize, get: &dyn Fn(usize) -> u64) -> u64 {
+            let (r, c) = row_col(cell);
+            if c == 0 || c == r {
+                1
+            } else {
+                get(self.id(r - 1, c - 1)) + get(self.id(r - 1, c))
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "pascal"
+        }
+    }
+
+    fn row_col(cell: usize) -> (usize, usize) {
+        let mut r = 0usize;
+        let mut acc = 0usize;
+        while acc + r + 1 <= cell {
+            acc += r + 1;
+            r += 1;
+        }
+        (r, cell - acc)
+    }
+
+    #[test]
+    fn sequential_computes_pascal() {
+        let p = Pascal { rows: 10 };
+        let sol = solve_sequential(&p);
+        // C(9, 4) = 126.
+        assert_eq!(sol.values[p.id(9, 4)], 126);
+        // Goal cell (last) = C(9,9) = 1.
+        assert_eq!(sol.goal, 1);
+    }
+
+    #[test]
+    fn all_schedulers_agree_on_pascal() {
+        let p = Pascal { rows: 16 };
+        let seq = solve_sequential(&p);
+        let pool = PalPool::new(4).unwrap();
+        let wave = solve_wavefront(&p, &pool);
+        let counter = solve_counter(&p, &pool);
+        assert_eq!(seq.values, wave.values);
+        assert_eq!(seq.values, counter.values);
+    }
+
+    #[test]
+    fn schedulers_work_on_sequential_executor() {
+        let p = Pascal { rows: 8 };
+        let seq = solve_sequential(&p);
+        let wave = solve_wavefront(&p, &SeqExecutor);
+        let counter = solve_counter(&p, &SeqExecutor);
+        assert_eq!(seq.values, wave.values);
+        assert_eq!(seq.values, counter.values);
+    }
+
+    #[test]
+    fn dependency_dag_matches_specification() {
+        let p = Pascal { rows: 6 };
+        let dag = dependency_dag(&p, &SeqExecutor);
+        assert_eq!(dag.len(), p.num_cells());
+        // Interior cell (3, 1) depends on (2, 0) and (2, 1).
+        let cell = p.id(3, 1);
+        assert!(dag.successors(p.id(2, 0)).contains(&cell));
+        assert!(dag.successors(p.id(2, 1)).contains(&cell));
+        // The two outer diagonals of the triangle are base cases (level 0);
+        // interior cells of row r sit at level r − 1, so 6 rows give a
+        // longest chain of 5.
+        assert_eq!(dag.longest_chain(), 5);
+    }
+
+    #[test]
+    fn results_identical_for_any_p() {
+        let p = Pascal { rows: 20 };
+        let expected = solve_sequential(&p);
+        for procs in [1usize, 2, 3, 4, 8] {
+            let pool = PalPool::new(procs).unwrap();
+            assert_eq!(solve_counter(&p, &pool).values, expected.values, "p = {procs}");
+            assert_eq!(solve_wavefront(&p, &pool).values, expected.values, "p = {procs}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn empty_problem_rejected() {
+        struct Empty;
+        impl DpProblem for Empty {
+            type Value = u8;
+            fn num_cells(&self) -> usize {
+                0
+            }
+            fn dependencies(&self, _: usize) -> Vec<usize> {
+                vec![]
+            }
+            fn compute(&self, _: usize, _: &dyn Fn(usize) -> u8) -> u8 {
+                0
+            }
+        }
+        let _ = solve_sequential(&Empty);
+    }
+}

@@ -1,0 +1,260 @@
+//! Greedy `p`-processor scheduling of a dependency DAG.
+//!
+//! This is the machine model behind the paper's Algorithm 1 (§4.4): every
+//! cell of the dynamic-programming table is a vertex with a cost, a vertex
+//! becomes *ready* once all the cells it depends on have been computed, and
+//! ready vertices are assigned to idle processors in creation (vertex-id)
+//! order.  The simulator returns the makespan, the schedule and the same
+//! speedup/efficiency summary as the tree simulator, so DP experiments can
+//! compare the measured wall-clock behaviour of `lopram-dp` with the ideal
+//! schedule and with the antichain bound of `lopram-analysis`.
+
+use std::collections::BTreeSet;
+
+use lopram_analysis::dag::Dag;
+
+/// Result of simulating a DAG schedule on `p` processors.
+#[derive(Debug, Clone)]
+pub struct DagSimResult {
+    /// Number of processors simulated.
+    pub processors: usize,
+    /// Wall-clock steps until every vertex completed.
+    pub makespan: u64,
+    /// Sum of all vertex costs (`T_1`).
+    pub total_work: u64,
+    /// Start time of every vertex.
+    pub start_times: Vec<u64>,
+    /// Completion time of every vertex.
+    pub finish_times: Vec<u64>,
+}
+
+impl DagSimResult {
+    /// Observed speedup `T_1 / T_p`.
+    pub fn speedup(&self) -> f64 {
+        if self.makespan == 0 {
+            return 1.0;
+        }
+        self.total_work as f64 / self.makespan as f64
+    }
+
+    /// Parallel efficiency `speedup / p`.
+    pub fn efficiency(&self) -> f64 {
+        self.speedup() / self.processors as f64
+    }
+}
+
+/// Simulate a greedy list schedule of `dag` on `p` processors, where vertex
+/// `v` takes `costs[v]` steps (use cost 1 for the unit-cost model of §4.6).
+///
+/// Ready vertices are started in vertex-id order, which for the DP problems
+/// in `lopram-dp` corresponds to the bottom-up creation order of the cells.
+///
+/// # Panics
+///
+/// Panics when `p == 0`, when `costs.len() != dag.len()` or when the graph
+/// contains a cycle.
+pub fn simulate_dag_schedule(dag: &Dag, costs: &[u64], p: usize) -> DagSimResult {
+    assert!(p >= 1, "at least one processor is required");
+    assert_eq!(
+        costs.len(),
+        dag.len(),
+        "one cost per vertex is required ({} costs for {} vertices)",
+        costs.len(),
+        dag.len()
+    );
+    assert!(dag.is_acyclic(), "dependency graph must be acyclic");
+
+    let n = dag.len();
+    let total_work: u64 = costs.iter().sum();
+    if n == 0 {
+        return DagSimResult {
+            processors: p,
+            makespan: 0,
+            total_work,
+            start_times: Vec::new(),
+            finish_times: Vec::new(),
+        };
+    }
+
+    let mut indeg = dag.in_degrees();
+    let mut ready: BTreeSet<usize> = indeg
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(v, _)| v)
+        .collect();
+    // Future completion events (finish_time, vertex).
+    let mut running: BTreeSet<(u64, usize)> = BTreeSet::new();
+    let mut start_times = vec![0u64; n];
+    let mut finish_times = vec![0u64; n];
+    let mut busy = 0usize;
+    let mut now = 0u64;
+    let mut completed = 0usize;
+
+    while completed < n {
+        while busy < p {
+            let Some(&v) = ready.iter().next() else {
+                break;
+            };
+            ready.remove(&v);
+            start_times[v] = now;
+            let finish = now + costs[v];
+            running.insert((finish, v));
+            busy += 1;
+        }
+        let (finish, v) = *running
+            .iter()
+            .next()
+            .expect("ready work exists but nothing is running: cycle?");
+        running.remove(&(finish, v));
+        now = finish;
+        finish_times[v] = finish;
+        busy -= 1;
+        completed += 1;
+        for &w in dag.successors(v) {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                ready.insert(w);
+            }
+        }
+    }
+
+    DagSimResult {
+        processors: p,
+        makespan: now,
+        total_work,
+        start_times,
+        finish_times,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopram_analysis::dag::{chain_dag, grid_dag, Dag};
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_dag_has_zero_makespan() {
+        let dag = Dag::new(0);
+        let r = simulate_dag_schedule(&dag, &[], 4);
+        assert_eq!(r.makespan, 0);
+        assert_eq!(r.speedup(), 1.0);
+    }
+
+    #[test]
+    fn independent_unit_tasks_scale_linearly() {
+        let dag = Dag::new(100);
+        let costs = vec![1u64; 100];
+        for p in [1usize, 2, 4, 10] {
+            let r = simulate_dag_schedule(&dag, &costs, p);
+            assert_eq!(r.makespan, (100usize.div_ceil(p)) as u64);
+        }
+    }
+
+    #[test]
+    fn chain_gets_no_speedup() {
+        let dag = chain_dag(50);
+        let costs = vec![2u64; 50];
+        let r1 = simulate_dag_schedule(&dag, &costs, 1);
+        let r8 = simulate_dag_schedule(&dag, &costs, 8);
+        assert_eq!(r1.makespan, 100);
+        assert_eq!(r8.makespan, 100);
+        assert!((r8.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_dag_speedup_near_linear_for_small_p() {
+        let dag = grid_dag(64, 64);
+        let costs = vec![1u64; dag.len()];
+        for p in [2usize, 4, 8] {
+            let r = simulate_dag_schedule(&dag, &costs, p);
+            assert!(
+                r.efficiency() > 0.85,
+                "efficiency {} too low for p = {p}",
+                r.efficiency()
+            );
+        }
+    }
+
+    #[test]
+    fn start_times_respect_dependencies() {
+        let dag = grid_dag(10, 13);
+        let costs: Vec<u64> = (0..dag.len()).map(|v| 1 + (v as u64 % 3)).collect();
+        let r = simulate_dag_schedule(&dag, &costs, 3);
+        for u in 0..dag.len() {
+            for &v in dag.successors(u) {
+                assert!(
+                    r.start_times[v] >= r.finish_times[u],
+                    "vertex {v} started before its dependency {u} finished"
+                );
+            }
+        }
+        for v in 0..dag.len() {
+            assert_eq!(r.finish_times[v], r.start_times[v] + costs[v]);
+        }
+    }
+
+    #[test]
+    fn one_processor_schedule_equals_total_work() {
+        let dag = grid_dag(16, 16);
+        let costs: Vec<u64> = (0..dag.len()).map(|v| (v % 5 + 1) as u64).collect();
+        let r = simulate_dag_schedule(&dag, &costs, 1);
+        assert_eq!(r.makespan, r.total_work);
+    }
+
+    #[test]
+    fn greedy_respects_brent_bound() {
+        let dag = grid_dag(32, 48);
+        let costs = vec![1u64; dag.len()];
+        for p in [1usize, 2, 4, 8, 16] {
+            let r = simulate_dag_schedule(&dag, &costs, p);
+            let work = dag.work() as u64;
+            let span = dag.longest_chain() as u64;
+            assert!(r.makespan >= span);
+            assert!(r.makespan >= work.div_ceil(p as u64));
+            assert!(r.makespan <= work.div_ceil(p as u64) + span);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "acyclic")]
+    fn cyclic_graph_is_rejected() {
+        let mut dag = Dag::new(2);
+        dag.add_edge(0, 1);
+        dag.add_edge(1, 0);
+        let _ = simulate_dag_schedule(&dag, &[1, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost per vertex")]
+    fn cost_length_mismatch_is_rejected() {
+        let dag = Dag::new(3);
+        let _ = simulate_dag_schedule(&dag, &[1, 1], 2);
+    }
+
+    proptest! {
+        #[test]
+        fn makespan_monotone_in_processors(
+            rows in 1usize..12, cols in 1usize..12, p in 1usize..8
+        ) {
+            let dag = grid_dag(rows, cols);
+            let costs = vec![1u64; dag.len()];
+            let r_small = simulate_dag_schedule(&dag, &costs, p);
+            let r_large = simulate_dag_schedule(&dag, &costs, p + 1);
+            prop_assert!(r_large.makespan <= r_small.makespan);
+        }
+
+        #[test]
+        fn every_vertex_scheduled_once(rows in 1usize..10, cols in 1usize..10) {
+            let dag = grid_dag(rows, cols);
+            let costs = vec![1u64; dag.len()];
+            let r = simulate_dag_schedule(&dag, &costs, 3);
+            prop_assert_eq!(r.start_times.len(), dag.len());
+            for v in 0..dag.len() {
+                prop_assert!(r.finish_times[v] > r.start_times[v]);
+                prop_assert!(r.finish_times[v] <= r.makespan);
+            }
+        }
+    }
+}

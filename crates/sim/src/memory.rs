@@ -1,0 +1,215 @@
+//! A CREW shared memory with conflict detection.
+//!
+//! §3 of the paper: "The read and write model … can generally be assumed to
+//! be Concurrent-Read Exclusive-Write (CREW). … If an unserialized variable
+//! is concurrently written this has undefined arbitrary behaviour."  The
+//! simulator makes that rule checkable: a [`CrewMemory`] records every access
+//! performed within one parallel step and reports a [`CrewViolation`] when
+//! two processors write the same address (or one writes while another reads)
+//! in the same step.  The dynamic-programming executors use it in tests to
+//! demonstrate that the wavefront and Algorithm 1 schedules are CREW-safe.
+
+use std::collections::HashMap;
+
+/// Kind of access performed on a memory cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A read access.
+    Read,
+    /// A write access.
+    Write,
+}
+
+/// A CREW conflict detected within one parallel step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrewViolation {
+    /// Address of the conflicting cell.
+    pub address: usize,
+    /// Step in which the conflict occurred.
+    pub step: u64,
+    /// Number of writers that touched the cell in that step.
+    pub writers: usize,
+    /// Number of readers that touched the cell in that step.
+    pub readers: usize,
+}
+
+/// A word-addressable CREW shared memory with per-step conflict detection.
+#[derive(Debug, Clone)]
+pub struct CrewMemory {
+    cells: Vec<i64>,
+    step: u64,
+    reads_this_step: HashMap<usize, usize>,
+    writes_this_step: HashMap<usize, usize>,
+    violations: Vec<CrewViolation>,
+    reads_total: u64,
+    writes_total: u64,
+}
+
+impl CrewMemory {
+    /// Create a memory with `size` cells initialised to zero.
+    pub fn new(size: usize) -> Self {
+        CrewMemory {
+            cells: vec![0; size],
+            step: 1,
+            reads_this_step: HashMap::new(),
+            writes_this_step: HashMap::new(),
+            violations: Vec::new(),
+            reads_total: 0,
+            writes_total: 0,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the memory has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Current parallel step.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Read the cell at `address` (a concurrent read is always legal).
+    pub fn read(&mut self, address: usize) -> i64 {
+        self.reads_total += 1;
+        *self.reads_this_step.entry(address).or_insert(0) += 1;
+        self.cells[address]
+    }
+
+    /// Write `value` to `address`.  The write is always performed (the paper
+    /// calls the outcome of a conflicting write "undefined arbitrary
+    /// behaviour"); the conflict, if any, is reported when the step ends.
+    pub fn write(&mut self, address: usize, value: i64) {
+        self.writes_total += 1;
+        *self.writes_this_step.entry(address).or_insert(0) += 1;
+        self.cells[address] = value;
+    }
+
+    /// Close the current parallel step: record CREW violations (multiple
+    /// writers, or a writer racing readers, on one address) and advance the
+    /// step counter.  Returns the violations detected in the closed step.
+    pub fn end_step(&mut self) -> Vec<CrewViolation> {
+        let mut new_violations = Vec::new();
+        for (&address, &writers) in &self.writes_this_step {
+            let readers = self.reads_this_step.get(&address).copied().unwrap_or(0);
+            if writers > 1 || (writers == 1 && readers > 0) {
+                new_violations.push(CrewViolation {
+                    address,
+                    step: self.step,
+                    writers,
+                    readers,
+                });
+            }
+        }
+        self.violations.extend(new_violations.iter().cloned());
+        self.reads_this_step.clear();
+        self.writes_this_step.clear();
+        self.step += 1;
+        new_violations
+    }
+
+    /// All violations recorded so far.
+    pub fn violations(&self) -> &[CrewViolation] {
+        &self.violations
+    }
+
+    /// `true` when no violation has been recorded.
+    pub fn is_crew_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Total number of reads performed.
+    pub fn reads_total(&self) -> u64 {
+        self.reads_total
+    }
+
+    /// Total number of writes performed.
+    pub fn writes_total(&self) -> u64 {
+        self.writes_total
+    }
+
+    /// Direct snapshot of the memory contents.
+    pub fn contents(&self) -> &[i64] {
+        &self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut mem = CrewMemory::new(8);
+        mem.write(3, 42);
+        assert_eq!(mem.read(3), 42);
+        assert_eq!(mem.read(0), 0);
+        assert_eq!(mem.len(), 8);
+        assert!(!mem.is_empty());
+    }
+
+    #[test]
+    fn concurrent_reads_are_legal() {
+        let mut mem = CrewMemory::new(4);
+        mem.write(1, 7);
+        let _ = mem.end_step();
+        for _ in 0..10 {
+            let _ = mem.read(1);
+        }
+        let violations = mem.end_step();
+        assert!(violations.is_empty());
+        assert!(mem.is_crew_clean());
+    }
+
+    #[test]
+    fn two_writes_same_step_are_a_violation() {
+        let mut mem = CrewMemory::new(4);
+        mem.write(2, 1);
+        mem.write(2, 5);
+        let violations = mem.end_step();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].address, 2);
+        assert_eq!(violations[0].writers, 2);
+        assert!(!mem.is_crew_clean());
+    }
+
+    #[test]
+    fn read_write_race_same_step_is_a_violation() {
+        let mut mem = CrewMemory::new(4);
+        let _ = mem.read(1);
+        mem.write(1, 9);
+        let violations = mem.end_step();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].readers, 1);
+        assert_eq!(violations[0].writers, 1);
+    }
+
+    #[test]
+    fn writes_in_different_steps_do_not_conflict() {
+        let mut mem = CrewMemory::new(4);
+        mem.write(0, 1);
+        assert!(mem.end_step().is_empty());
+        mem.write(0, 2);
+        assert!(mem.end_step().is_empty());
+        assert_eq!(mem.read(0), 2);
+        assert!(mem.is_crew_clean());
+        assert_eq!(mem.step(), 3);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut mem = CrewMemory::new(2);
+        mem.write(0, 1);
+        let _ = mem.read(0);
+        let _ = mem.read(1);
+        let _ = mem.end_step();
+        assert_eq!(mem.writes_total(), 1);
+        assert_eq!(mem.reads_total(), 2);
+        assert_eq!(mem.contents(), &[1, 0]);
+    }
+}

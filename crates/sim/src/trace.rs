@@ -1,0 +1,179 @@
+//! Trace rendering: regenerating Figure 1 of the paper.
+//!
+//! Figure 1 shows the mergesort execution tree for `n = 16`, `p = 4` with a
+//! number by each node (the time step at which the call was granted to the
+//! scheduler) and a colour per node at a snapshot time `t`: black for calls
+//! actively holding a processor, gray for calls that have been pal-requested
+//! but are not running, and white for calls that have not been pal-requested
+//! yet.  [`render_figure1_snapshot`] produces the ASCII equivalent, and
+//! [`render_activation_tree`] prints the per-level activation times so the
+//! `1 / 2 2 / 3 3 3 3 / 4 7 … / 5 6 8 9 …` pattern of the figure can be
+//! checked at a glance.
+
+use crate::schedule::SimResult;
+use crate::tree::TaskTree;
+
+/// Classification of a node at a snapshot time, matching the colours of
+/// Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeSnapshotState {
+    /// The call has not been pal-requested yet (white in the figure).
+    NotRequested,
+    /// The call has been pal-requested but is not occupying a processor at
+    /// the snapshot time: it is pending or waiting for its children (gray).
+    RequestedInactive,
+    /// The call is actively occupying a processor (black).
+    Active,
+    /// The call has completed.
+    Done,
+}
+
+/// Classify node `id` at time `t` from the simulation records.
+pub fn node_state_at(tree: &TaskTree, result: &SimResult, id: usize, t: u64) -> NodeSnapshotState {
+    let rec = &result.records[id];
+    if rec.requested_at > t {
+        return NodeSnapshotState::NotRequested;
+    }
+    if rec.completed_at <= t {
+        return NodeSnapshotState::Done;
+    }
+    let node = tree.node(id);
+    // Active while running its divide phase …
+    let divide_active = rec.activated_at <= t && t < rec.activated_at + node.divide_cost.max(1);
+    // … or while running its merge phase (leaves have no separate merge).
+    let merge_active =
+        !node.is_leaf() && rec.merge_started_at <= t && t < rec.merge_started_at + node.merge_cost;
+    if (divide_active || merge_active) && rec.activated_at <= t {
+        NodeSnapshotState::Active
+    } else {
+        NodeSnapshotState::RequestedInactive
+    }
+}
+
+fn state_symbol(state: NodeSnapshotState) -> char {
+    match state {
+        NodeSnapshotState::NotRequested => '·',
+        NodeSnapshotState::RequestedInactive => 'o',
+        NodeSnapshotState::Active => '#',
+        NodeSnapshotState::Done => '+',
+    }
+}
+
+/// Render the per-level activation times of the execution tree (the numbers
+/// printed next to each node in Figure 1).
+pub fn render_activation_tree(tree: &TaskTree, result: &SimResult) -> String {
+    let mut out = String::new();
+    for (depth, level) in tree.levels().iter().enumerate() {
+        let times: Vec<String> = level
+            .iter()
+            .map(|&id| result.records[id].activated_at.to_string())
+            .collect();
+        out.push_str(&format!("level {depth}: {}\n", times.join(" ")));
+    }
+    out
+}
+
+/// Render the Figure 1 snapshot at time `t`: one line per level, each node
+/// shown as `time/state` where the state symbol is `#` (active), `o`
+/// (requested but not running), `·` (not requested) or `+` (done).
+pub fn render_figure1_snapshot(tree: &TaskTree, result: &SimResult, t: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Execution tree snapshot at t = {t} (p = {}, n = {}):\n",
+        result.processors,
+        tree.node(tree.root()).size
+    ));
+    for (depth, level) in tree.levels().iter().enumerate() {
+        let cells: Vec<String> = level
+            .iter()
+            .map(|&id| {
+                let state = node_state_at(tree, result, id, t);
+                format!("{}{}", result.records[id].activated_at, state_symbol(state))
+            })
+            .collect();
+        out.push_str(&format!("level {depth}: {}\n", cells.join(" ")));
+    }
+    out.push_str("legend: # active   o requested/waiting   · not requested   + done\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::TreeSimulator;
+    use crate::tree::TaskTree;
+
+    fn figure1() -> (TaskTree, SimResult) {
+        let tree = TaskTree::mergesort_figure1(16);
+        let result = TreeSimulator::new(&tree).run(4);
+        (tree, result)
+    }
+
+    #[test]
+    fn activation_tree_matches_figure1_numbers() {
+        let (tree, result) = figure1();
+        let rendered = render_activation_tree(&tree, &result);
+        assert!(rendered.contains("level 0: 1"));
+        assert!(rendered.contains("level 1: 2 2"));
+        assert!(rendered.contains("level 2: 3 3 3 3"));
+        assert!(rendered.contains("level 3: 4 7 4 7 4 7 4 7"));
+        assert!(rendered.contains("level 4: 5 6 8 9 5 6 8 9 5 6 8 9 5 6 8 9"));
+    }
+
+    #[test]
+    fn snapshot_at_t6_has_active_second_leaves() {
+        let (tree, result) = figure1();
+        // At t = 6 the second leaf of each active subtree (activation time 6)
+        // must be the one holding a processor.
+        let levels = tree.levels();
+        let mut active = 0;
+        for &id in &levels[4] {
+            let state = node_state_at(&tree, &result, id, 6);
+            if result.records[id].activated_at == 6 {
+                assert_eq!(state, NodeSnapshotState::Active);
+                active += 1;
+            }
+        }
+        assert_eq!(active, 4, "one active leaf per processor at t = 6");
+    }
+
+    #[test]
+    fn snapshot_at_t6_has_unrequested_right_subtrees() {
+        let (tree, result) = figure1();
+        let levels = tree.levels();
+        // The second child of each size-4 node is requested at 4 but its own
+        // children (activation times 8 and 9) are still unrequested at t = 6.
+        let unrequested = levels[4]
+            .iter()
+            .filter(|&&id| node_state_at(&tree, &result, id, 6) == NodeSnapshotState::NotRequested)
+            .count();
+        assert_eq!(unrequested, 8);
+    }
+
+    #[test]
+    fn snapshot_before_start_is_all_unrequested_except_root() {
+        let (tree, result) = figure1();
+        let root_state = node_state_at(&tree, &result, tree.root(), 1);
+        assert_eq!(root_state, NodeSnapshotState::Active);
+        let later = node_state_at(&tree, &result, tree.levels()[2][0], 1);
+        assert_eq!(later, NodeSnapshotState::NotRequested);
+    }
+
+    #[test]
+    fn snapshot_after_completion_is_all_done() {
+        let (tree, result) = figure1();
+        let t = result.makespan + 1;
+        for id in 0..tree.len() {
+            assert_eq!(node_state_at(&tree, &result, id, t), NodeSnapshotState::Done);
+        }
+    }
+
+    #[test]
+    fn rendering_contains_legend_and_levels() {
+        let (tree, result) = figure1();
+        let s = render_figure1_snapshot(&tree, &result, 6);
+        assert!(s.contains("legend"));
+        assert!(s.contains("level 4:"));
+        assert!(s.contains("t = 6"));
+    }
+}

@@ -1,0 +1,78 @@
+//! The parallel Master theorem (Theorem 1) in action.
+//!
+//! For one algorithm per case — Karatsuba (case 1), mergesort (case 2) and
+//! the dominant-merge cross-product sum (case 3, with and without parallel
+//! merging) — this example measures the wall-clock speedup on a pal-thread
+//! pool and prints it next to the speedup class the theorem promises.
+//!
+//! Run with `cargo run --release --example master_theorem_cases`.
+
+use std::time::Instant;
+
+use lopram::analysis::{parallel_master_bound, recurrence::catalog, MergeMode};
+use lopram::core::PalPool;
+use lopram::dnc::case3::{cross_product_sum, CrossMergeMode};
+use lopram::dnc::karatsuba::karatsuba_mul;
+use lopram::dnc::mergesort::merge_sort;
+
+fn time<R>(mut f: impl FnMut() -> R) -> f64 {
+    let start = Instant::now();
+    std::hint::black_box(f());
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let p = 4;
+    let seq = PalPool::sequential();
+    let pool = PalPool::new(p).expect("p processors");
+    println!("Parallel Master theorem demonstration (p = {p})\n");
+
+    // Case 1: Karatsuba, T(n) = 3T(n/2) + n.
+    let a: Vec<i64> = (0..1 << 13).map(|i| (i % 97) as i64 - 48).collect();
+    let b: Vec<i64> = (0..1 << 13).map(|i| (i % 89) as i64 - 44).collect();
+    let t1 = time(|| karatsuba_mul(&seq, &a, &b));
+    let tp = time(|| karatsuba_mul(&pool, &a, &b));
+    let bound = parallel_master_bound(&catalog::karatsuba(), MergeMode::Sequential);
+    println!(
+        "case 1  karatsuba        speedup {:>5.2}   promised: {:?}",
+        t1 / tp,
+        bound.speedup
+    );
+
+    // Case 2: mergesort, T(n) = 2T(n/2) + n.
+    let data: Vec<i64> = (0..1 << 20).map(|i| (i * 2_654_435_761u64 as i64) % 1_000_003).collect();
+    let t1 = time(|| {
+        let mut v = data.clone();
+        merge_sort(&seq, &mut v);
+        v
+    });
+    let tp = time(|| {
+        let mut v = data.clone();
+        merge_sort(&pool, &mut v);
+        v
+    });
+    let bound = parallel_master_bound(&catalog::mergesort(), MergeMode::Sequential);
+    println!(
+        "case 2  mergesort        speedup {:>5.2}   promised: {:?}",
+        t1 / tp,
+        bound.speedup
+    );
+
+    // Case 3: dominant merge, T(n) = 2T(n/2) + n².
+    let values: Vec<i64> = (0..1 << 12).map(|i| (i % 1009) as i64 - 504).collect();
+    let t1 = time(|| cross_product_sum(&seq, &values, CrossMergeMode::Sequential));
+    let tp_seq_merge = time(|| cross_product_sum(&pool, &values, CrossMergeMode::Sequential));
+    let tp_par_merge = time(|| cross_product_sum(&pool, &values, CrossMergeMode::Parallel));
+    let seq_bound = parallel_master_bound(&catalog::quadratic_merge(), MergeMode::Sequential);
+    let par_bound = parallel_master_bound(&catalog::quadratic_merge(), MergeMode::Parallel);
+    println!(
+        "case 3  dominant merge   speedup {:>5.2}   promised: {:?} (sequential merge)",
+        t1 / tp_seq_merge,
+        seq_bound.speedup
+    );
+    println!(
+        "case 3  + parallel merge speedup {:>5.2}   promised: {:?} (Eq. 5)",
+        t1 / tp_par_merge,
+        par_bound.speedup
+    );
+}

@@ -1,0 +1,32 @@
+//! Reproduce Figure 1 of the paper: the pal-thread execution tree of
+//! mergesort for `n = 16` keys on `p = 4` processors, with the activation
+//! time of every call and the state snapshot at `t = 6`.
+//!
+//! Run with `cargo run --example mergesort_tree` (optionally pass `n` and `p`).
+
+use lopram::sim::{render_activation_tree, render_figure1_snapshot, TaskTree, TreeSimulator};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let p: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    let tree = TaskTree::mergesort_figure1(n);
+    let result = TreeSimulator::new(&tree).run(p);
+
+    println!("Pal-thread execution tree for mergesort, n = {n}, p = {p} (paper Figure 1)\n");
+    print!("{}", render_activation_tree(&tree, &result));
+    println!();
+    print!("{}", render_figure1_snapshot(&tree, &result, 6));
+    println!(
+        "\nwall-clock steps T_p = {}, total work T_1 = {}, speedup {:.2}",
+        result.makespan,
+        result.total_work,
+        result.speedup()
+    );
+}

@@ -1,0 +1,53 @@
+//! Quickstart: the LoPRAM model in five minutes.
+//!
+//! Creates a pool with the paper's `p = O(log n)` processors, sorts with the
+//! pal-thread mergesort of §3.1, classifies its recurrence with the parallel
+//! Master theorem, and solves one dynamic program three different ways.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use lopram::analysis::{parallel_master_bound, recurrence::catalog, MergeMode, SpeedupClass};
+use lopram::core::{processors_for, PalPool, ProcessorPolicy};
+use lopram::dnc::mergesort::merge_sort;
+use lopram::dp::prelude::*;
+
+fn main() {
+    // 1. A LoPRAM for an input of one million keys: p = ⌊log₂ n⌋ processors.
+    let n = 1_000_000usize;
+    let p = processors_for(n, ProcessorPolicy::LogN);
+    let pool = PalPool::new(p).expect("at least one processor");
+    println!("LoPRAM configured with p = {p} processors for n = {n} (p = O(log n))");
+
+    // 2. The paper's mergesort: recursive calls become pal-threads.
+    let mut data: Vec<i64> = (0..n as i64).rev().collect();
+    merge_sort(&pool, &mut data);
+    assert!(data.windows(2).all(|w| w[0] <= w[1]));
+    println!("pal-thread mergesort sorted {n} keys on {p} processors");
+
+    // 3. What does Theorem 1 promise for that recurrence?
+    let rec = catalog::mergesort();
+    let bound = parallel_master_bound(&rec, MergeMode::Sequential);
+    println!(
+        "mergesort recurrence T(n) = 2T(n/2) + n is Master case {:?}; promised speedup: {:?}",
+        bound.case, bound.speedup
+    );
+    assert_eq!(bound.speedup, SpeedupClass::Linear);
+    println!(
+        "Eq. 3 predicts speedup {:.2} at n = {n}, p = {p}",
+        rec.predicted_speedup(n, p)
+    );
+
+    // 4. A dynamic program (edit distance), solved by the wavefront scheduler,
+    //    the counter scheduler of Algorithm 1 and parallel memoization.
+    let a = b"low degree parallel random access machine".to_vec();
+    let b = b"parallel algorithmic threads".to_vec();
+    let problem = EditDistance::new(a, b);
+    let sequential = solve_sequential(&problem).goal;
+    let wavefront = solve_wavefront(&problem, &pool).goal;
+    let counter = solve_counter(&problem, &pool).goal;
+    let memoized = solve_memoized(&problem, &pool).goal;
+    assert_eq!(sequential, wavefront);
+    assert_eq!(sequential, counter);
+    assert_eq!(sequential, memoized);
+    println!("edit distance = {sequential} (identical across all four schedulers)");
+}

@@ -1,0 +1,106 @@
+//! Cross-crate integration tests for the dynamic-programming pipeline:
+//! problem specification → dependency DAG (analysis) → ideal schedule
+//! (simulator) → real pal-thread execution (dp + core).
+
+use lopram::core::{PalPool, SeqExecutor};
+use lopram::dp::prelude::*;
+use lopram::sim::simulate_dag_schedule;
+
+#[test]
+fn lcs_pipeline_from_spec_to_schedulers() {
+    let a: Vec<u8> = (0..200).map(|i| (i % 4) as u8).collect();
+    let b: Vec<u8> = (0..180).map(|i| (i % 3) as u8).collect();
+    let problem = Lcs::new(a, b);
+
+    // Dependency DAG and its antichain structure.
+    let dag = dependency_dag(&problem, &SeqExecutor);
+    assert_eq!(dag.len(), problem.num_cells());
+    assert!(dag.is_acyclic());
+    let levels = dag.levels();
+    assert!(levels.validate(&dag));
+    assert_eq!(levels.height(), 200 + 180);
+
+    // The ideal p-processor schedule of that DAG scales with p.
+    let costs = vec![1u64; dag.len()];
+    let s2 = simulate_dag_schedule(&dag, &costs, 2).speedup();
+    let s8 = simulate_dag_schedule(&dag, &costs, 8).speedup();
+    assert!(s2 > 1.8);
+    assert!(s8 > 6.0);
+
+    // All real schedulers agree with the sequential reference.
+    let expected = problem.reference();
+    let pool = PalPool::new(4).unwrap();
+    assert_eq!(solve_sequential(&problem).goal, expected);
+    assert_eq!(solve_wavefront(&problem, &pool).goal, expected);
+    assert_eq!(solve_counter(&problem, &pool).goal, expected);
+    assert_eq!(solve_memoized(&problem, &pool).goal, expected);
+}
+
+#[test]
+fn chain_dp_has_no_parallelism_but_stays_correct() {
+    let problem = PrefixChain::new((0..3000).map(|i| (i % 997) as i64 - 498).collect());
+    let dag = dependency_dag(&problem, &SeqExecutor);
+    assert_eq!(dag.max_width(), 1);
+    assert!((dag.max_speedup(8) - 1.0).abs() < 1e-12);
+
+    let expected = problem.reference();
+    let pool = PalPool::new(8).unwrap();
+    assert_eq!(solve_counter(&problem, &pool).goal, expected);
+    assert_eq!(solve_wavefront(&problem, &pool).goal, expected);
+}
+
+#[test]
+fn every_problem_agrees_across_schedulers_and_processor_counts() {
+    let pool2 = PalPool::new(2).unwrap();
+    let pool8 = PalPool::new(8).unwrap();
+
+    let lcs = Lcs::new(b"abracadabra".to_vec(), b"alakazam".to_vec());
+    let ed = EditDistance::new(b"sunday".to_vec(), b"saturday".to_vec());
+    let mc = MatrixChain::new(vec![30, 35, 15, 5, 10, 20, 25]);
+    let bst = OptimalBst::new(vec![34, 8, 50, 21, 13]);
+    let knap = Knapsack::new(vec![1, 3, 4, 5, 2], vec![1, 4, 5, 7, 3], 9);
+    let coins = CoinChange::new(vec![1, 2, 5], 40);
+    let rod = RodCutting::new(vec![1, 5, 8, 9, 10, 17, 17, 20], 17);
+    let lis = Lis::new(vec![10, 9, 2, 5, 3, 7, 101, 18, 4, 6]);
+
+    macro_rules! check {
+        ($p:expr) => {{
+            let expected = solve_sequential(&$p).goal;
+            for pool in [&pool2, &pool8] {
+                assert_eq!(solve_wavefront(&$p, pool).goal, expected);
+                assert_eq!(solve_counter(&$p, pool).goal, expected);
+                assert_eq!(solve_memoized(&$p, pool).goal, expected);
+            }
+        }};
+    }
+    check!(lcs);
+    check!(ed);
+    check!(mc);
+    check!(bst);
+    check!(knap);
+    check!(coins);
+    check!(rod);
+    check!(lis);
+}
+
+#[test]
+fn floyd_warshall_matches_reference_through_the_full_pipeline() {
+    let edges: Vec<(usize, usize, u64)> = (0..120)
+        .map(|i| ((i * 7) % 20, (i * 13 + 3) % 20, ((i * 31) % 50 + 1) as u64))
+        .collect();
+    let problem = FloydWarshall::from_edges(20, &edges);
+    let expected = problem.reference();
+    let pool = PalPool::new(4).unwrap();
+    assert_eq!(
+        problem.distances(&solve_counter(&problem, &pool).values),
+        expected
+    );
+    assert_eq!(
+        problem.distances(&solve_wavefront(&problem, &pool).values),
+        expected
+    );
+
+    let dag = dependency_dag(&problem, &SeqExecutor);
+    // One antichain per k-slab plus the base slab.
+    assert_eq!(dag.longest_chain(), 21);
+}
