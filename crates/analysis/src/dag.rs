@@ -57,7 +57,10 @@ impl Dag {
     ///
     /// Panics when either endpoint is out of range or on a self-loop.
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.len() && v < self.len(), "edge endpoint out of range");
+        assert!(
+            u < self.len() && v < self.len(),
+            "edge endpoint out of range"
+        );
         assert_ne!(u, v, "self-loops are not allowed in a dependency DAG");
         self.adj[u].push(v);
         self.edge_count += 1;

@@ -223,7 +223,11 @@ mod tests {
 
     #[test]
     fn theorem1_cases_1_and_2_promise_linear_speedup() {
-        for rec in [catalog::karatsuba(), catalog::mergesort(), catalog::strassen()] {
+        for rec in [
+            catalog::karatsuba(),
+            catalog::mergesort(),
+            catalog::strassen(),
+        ] {
             for merge in [MergeMode::Sequential, MergeMode::Parallel] {
                 let bound = parallel_master_bound(&rec, merge);
                 assert_eq!(bound.speedup, SpeedupClass::Linear);
@@ -257,7 +261,10 @@ mod tests {
         // The Θ-bound is only defined up to constants, so the meaningful
         // check is that the ratio between the exact Eq. 3 evaluation and the
         // predicted bound stays (roughly) constant as n grows.
-        for (rec, p) in [(catalog::karatsuba(), 9usize), (catalog::mergesort(), 8usize)] {
+        for (rec, p) in [
+            (catalog::karatsuba(), 9usize),
+            (catalog::mergesort(), 8usize),
+        ] {
             let bound = parallel_master_bound(&rec, MergeMode::Sequential);
             let ratios: Vec<f64> = [14u32, 17, 20]
                 .iter()

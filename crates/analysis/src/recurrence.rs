@@ -305,7 +305,10 @@ mod tests {
         let n = 1 << 14;
         let s = r.predicted_speedup(n, 8);
         // T_p is dominated by f(n) = n², so speedup tends to T(n)/f(n) ≈ 2.
-        assert!(s < 2.5, "case 3 speedup should be bounded by a constant, got {s}");
+        assert!(
+            s < 2.5,
+            "case 3 speedup should be bounded by a constant, got {s}"
+        );
     }
 
     #[test]

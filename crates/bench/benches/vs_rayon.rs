@@ -1,5 +1,10 @@
 //! Criterion benchmarks for experiment E12: the pal-thread pool, the eager
 //! throttled ablation and raw rayon on the same mergesort workload.
+//!
+//! Caveat for offline builds: `rayon` currently resolves to the workspace
+//! shim (`shims/rayon`, an OS-thread-per-fork semaphore pool, no work
+//! stealing), so the "rayon" rows measure the shim — not upstream rayon.
+//! Re-run against the real crate before quoting them as a rayon baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lopram_bench::random_vec;

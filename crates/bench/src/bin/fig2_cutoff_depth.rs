@@ -46,8 +46,8 @@ fn main() {
             );
         }
     }
+    println!("\nReading: thread creation occupies processors down to depth floor(log_a p); below");
     println!(
-        "\nReading: thread creation occupies processors down to depth floor(log_a p); below"
+        "that depth every processor runs its subproblem of size n / b^(log_a p) sequentially."
     );
-    println!("that depth every processor runs its subproblem of size n / b^(log_a p) sequentially.");
 }

@@ -13,7 +13,10 @@ use lopram_dp::prelude::*;
 fn report<P: DpProblem>(problem: &P, label: &str) {
     let dag = dependency_dag(problem, &SeqExecutor);
     let levels = dag.levels();
-    assert!(levels.validate(&dag), "antichain decomposition must be valid");
+    assert!(
+        levels.validate(&dag),
+        "antichain decomposition must be valid"
+    );
     println!(
         "{:<22} {:>9} {:>8} {:>11} {:>10} {:>10.1} {:>12.2}",
         label,

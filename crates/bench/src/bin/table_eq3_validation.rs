@@ -9,6 +9,9 @@ use lopram_analysis::recurrence::catalog;
 use lopram_sim::{CostSpec, TaskTree, TreeSimulator};
 
 fn main() {
+    // `--smoke` runs a reduced grid; CI uses it to keep the paper-table
+    // harness exercised without paying for the full sweep.
+    let smoke = std::env::args().any(|a| a == "--smoke");
     println!("Eq. 3 validation: simulated pal-thread makespan vs analytic prediction");
     println!("(workload: T(n) = 2T(n/2) + n, unit leaves, merge cost n)\n");
     println!(
@@ -16,7 +19,8 @@ fn main() {
         "n", "p", "simulated T_p", "Eq.3 T_p", "ratio"
     );
     let rec = catalog::mergesort();
-    for &exp in &[8u32, 10, 12, 14] {
+    let exps: &[u32] = if smoke { &[8, 10] } else { &[8, 10, 12, 14] };
+    for &exp in exps {
         let n = 1usize << exp;
         let costs = CostSpec {
             divide: Box::new(|_| 0),

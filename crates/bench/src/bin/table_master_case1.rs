@@ -8,8 +8,7 @@
 
 use lopram_analysis::recurrence::catalog;
 use lopram_bench::{
-    measure, pool_with, print_speedup_table, random_matrix, random_vec, SpeedupRow,
-    PROCESSOR_SWEEP,
+    measure, pool_with, print_speedup_table, random_matrix, random_vec, SpeedupRow, PROCESSOR_SWEEP,
 };
 use lopram_dnc::karatsuba::{karatsuba_mul, karatsuba_mul_seq};
 use lopram_dnc::polymul::{polymul_four_way, polymul_seq};

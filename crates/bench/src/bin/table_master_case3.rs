@@ -51,10 +51,7 @@ fn main() {
         });
     }
 
-    print_speedup_table(
-        "Theorem 1, case 3: dominant merge (2T(n/2) + n^2)",
-        &rows,
-    );
+    print_speedup_table("Theorem 1, case 3: dominant merge (2T(n/2) + n^2)", &rows);
     println!("\nPaper claim: with a sequential merge the speedup is bounded by a constant");
     println!("(T_p = Θ(f(n)), here ≈ 2 because T(n) ≈ 2·f(n)); parallelising the merge");
     println!("restores T_p = Θ(f(n)/p), i.e. speedup growing linearly in p.");

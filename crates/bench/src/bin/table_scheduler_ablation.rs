@@ -10,6 +10,10 @@
 //! * raw rayon with the same number of threads (the modern work-stealing
 //!   baseline named in the reproduction notes).
 //!
+//! Caveat for offline builds: `rayon` currently resolves to the workspace
+//! shim (`shims/rayon`), so the "rayon" column measures the shim — not
+//! upstream rayon.  The printed note repeats this.
+//!
 //! The gap between the first two quantifies how much the paper's "pending
 //! pal-threads are activated … as resources become available" rule matters.
 
@@ -75,6 +79,8 @@ fn main() {
     println!("\nReading: PalPool tracks raw rayon closely (both keep pending work available to");
     println!("idle processors); the eager ThrottledPool loses speedup because a pal-thread that");
     println!("was folded into its parent can never migrate to a processor that frees up later.");
+    println!("NOTE: in offline builds the rayon column is the workspace shim (shims/rayon),");
+    println!("not upstream rayon — swap in the real crate before quoting it as a baseline.");
 }
 
 fn rayon_merge_sort(data: &mut [i64]) {

@@ -48,14 +48,14 @@ fn main() {
 
     // Case 3 with sequential merges: 2T(n/2) + n².
     let n = 1usize << 9;
-    let tree = TaskTree::divide_and_conquer(
-        n,
-        2,
-        2,
-        1,
-        &CostSpec::merge_dominated(|s| (s * s) as u64),
+    let tree =
+        TaskTree::divide_and_conquer(n, 2, 2, 1, &CostSpec::merge_dominated(|s| (s * s) as u64));
+    simulate(
+        "case 3: 2T(n/2)+n^2 (seq)",
+        &catalog::quadratic_merge(),
+        &tree,
+        false,
     );
-    simulate("case 3: 2T(n/2)+n^2 (seq)", &catalog::quadratic_merge(), &tree, false);
 
     // Case 3 with parallel merges (Eq. 5): the merge of size s is spread over
     // min(p, ...) processors; model it by charging ceil(s²/p) steps per merge.

@@ -21,7 +21,10 @@ fn main() {
     merge_sort_seq(&mut expected);
 
     println!("Varying p (§3.2) — mergesort, n = {n}, log2(n)-policy p = {logn}\n");
-    println!("{:>4} {:>12} {:>9} {:>11}", "p", "T_p", "speedup", "correct?");
+    println!(
+        "{:>4} {:>12} {:>9} {:>11}",
+        "p", "T_p", "speedup", "correct?"
+    );
     let t1 = measure(runs, || {
         let mut v = data.clone();
         merge_sort_seq(&mut v);
@@ -55,7 +58,10 @@ fn main() {
         std::hint::black_box(solve_sequential(&lcs));
     });
     println!("\nVarying p — LCS 700x700 (Algorithm 1)\n");
-    println!("{:>4} {:>12} {:>9} {:>11}", "p", "T_p", "speedup", "correct?");
+    println!(
+        "{:>4} {:>12} {:>9} {:>11}",
+        "p", "T_p", "speedup", "correct?"
+    );
     for p in [1usize, 2, 3, 4, 6, 8, 12, 16] {
         let pool = pool_with(p);
         let correct = solve_counter(&lcs, &pool).goal == expected;

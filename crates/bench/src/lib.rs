@@ -112,7 +112,9 @@ pub fn logn_processors(n: usize) -> usize {
 /// Deterministic random vector of `i64`.
 pub fn random_vec(n: usize, seed: u64) -> Vec<i64> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(-1_000_000..1_000_000)).collect()
+    (0..n)
+        .map(|_| rng.gen_range(-1_000_000..1_000_000))
+        .collect()
 }
 
 /// Deterministic random byte string drawn from a small alphabet.

@@ -51,11 +51,7 @@ impl Executor for SeqExecutor {
         1
     }
 
-    fn join<RA, RB>(
-        &self,
-        a: impl FnOnce() -> RA + Send,
-        b: impl FnOnce() -> RB + Send,
-    ) -> (RA, RB)
+    fn join<RA, RB>(&self, a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
     where
         RA: Send,
         RB: Send,
@@ -78,11 +74,7 @@ impl Executor for PalPool {
         PalPool::processors(self)
     }
 
-    fn join<RA, RB>(
-        &self,
-        a: impl FnOnce() -> RA + Send,
-        b: impl FnOnce() -> RB + Send,
-    ) -> (RA, RB)
+    fn join<RA, RB>(&self, a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
     where
         RA: Send,
         RB: Send,
@@ -103,11 +95,7 @@ impl Executor for ThrottledPool {
         ThrottledPool::processors(self)
     }
 
-    fn join<RA, RB>(
-        &self,
-        a: impl FnOnce() -> RA + Send,
-        b: impl FnOnce() -> RB + Send,
-    ) -> (RA, RB)
+    fn join<RA, RB>(&self, a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
     where
         RA: Send,
         RB: Send,
@@ -160,11 +148,7 @@ impl Executor for PalExecutor {
         self.pool.processors()
     }
 
-    fn join<RA, RB>(
-        &self,
-        a: impl FnOnce() -> RA + Send,
-        b: impl FnOnce() -> RB + Send,
-    ) -> (RA, RB)
+    fn join<RA, RB>(&self, a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
     where
         RA: Send,
         RB: Send,
@@ -185,11 +169,7 @@ impl<E: Executor> Executor for &E {
         (**self).processors()
     }
 
-    fn join<RA, RB>(
-        &self,
-        a: impl FnOnce() -> RA + Send,
-        b: impl FnOnce() -> RB + Send,
-    ) -> (RA, RB)
+    fn join<RA, RB>(&self, a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
     where
         RA: Send,
         RB: Send,

@@ -356,7 +356,7 @@ mod tests {
     #[test]
     fn scope_spawn_can_borrow_environment() {
         let pool = PalPool::new(2).unwrap();
-        let data = vec![1u64, 2, 3, 4];
+        let data = [1u64, 2, 3, 4];
         let total = AtomicUsize::new(0);
         pool.scope(|s| {
             for chunk in data.chunks(2) {

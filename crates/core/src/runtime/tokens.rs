@@ -54,12 +54,10 @@ impl ProcessorTokens {
             if cur == 0 {
                 return None;
             }
-            match self.free.compare_exchange_weak(
-                cur,
-                cur - 1,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self
+                .free
+                .compare_exchange_weak(cur, cur - 1, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => {
                     let in_use = self.total - (cur - 1);
                     self.peak_in_use.fetch_max(in_use, Ordering::Relaxed);

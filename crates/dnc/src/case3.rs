@@ -124,7 +124,6 @@ mod tests {
     use lopram_core::{PalPool, SeqExecutor};
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn random_vec(n: usize, seed: u64) -> Vec<i64> {
         let mut rng = StdRng::seed_from_u64(seed);

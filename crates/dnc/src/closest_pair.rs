@@ -63,7 +63,10 @@ fn recurse<E: Executor>(exec: &E, points: &[Point], grain: usize) -> f64 {
     let mid = points.len() / 2;
     let mid_x = points[mid].x;
     let (left, right) = points.split_at(mid);
-    let (dl, dr) = exec.join(|| recurse(exec, left, grain), || recurse(exec, right, grain));
+    let (dl, dr) = exec.join(
+        || recurse(exec, left, grain),
+        || recurse(exec, right, grain),
+    );
     let mut best = dl.min(dr);
 
     // Strip check: points within `best` of the dividing line, sorted by y.
@@ -90,12 +93,16 @@ mod tests {
     use lopram_core::PalPool;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn random_points(n: usize, seed: u64) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
-            .map(|_| Point::new(rng.gen_range(-1000.0..1000.0), rng.gen_range(-1000.0..1000.0)))
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(-1000.0..1000.0),
+                    rng.gen_range(-1000.0..1000.0),
+                )
+            })
             .collect()
     }
 

@@ -119,8 +119,7 @@ fn solve_with<P: DncProblem, E: Executor>(
     } else {
         // a-way palthreads block: recursively join pairs so every recursive
         // call still becomes its own pal-thread.
-        let slots: Vec<Mutex<Option<P::Output>>> =
-            (0..count).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<P::Output>>> = (0..count).map(|_| Mutex::new(None)).collect();
         join_all(problem, exec, inputs, &slots, 0, stats);
         slots
             .into_iter()
@@ -273,7 +272,10 @@ mod tests {
         let data: Vec<i64> = (1..=999).collect();
         let expected: i64 = data.iter().sum();
         let stats = DncRun::new();
-        assert_eq!(solve(&FourWaySum, &SeqExecutor, data.clone(), &stats), expected);
+        assert_eq!(
+            solve(&FourWaySum, &SeqExecutor, data.clone(), &stats),
+            expected
+        );
         let pool = PalPool::new(3).unwrap();
         let stats = DncRun::new();
         assert_eq!(solve(&FourWaySum, &pool, data, &stats), expected);

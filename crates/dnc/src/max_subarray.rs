@@ -48,10 +48,7 @@ impl SegmentSummary {
     /// Combine the summaries of two adjacent segments.
     pub fn combine(left: SegmentSummary, right: SegmentSummary) -> SegmentSummary {
         SegmentSummary {
-            best: left
-                .best
-                .max(right.best)
-                .max(left.suffix + right.prefix),
+            best: left.best.max(right.best).max(left.suffix + right.prefix),
             prefix: left.prefix.max(left.total + right.prefix),
             suffix: right.suffix.max(right.total + left.suffix),
             total: left.total + right.total,
@@ -105,7 +102,6 @@ mod tests {
     use lopram_core::{PalPool, SeqExecutor};
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     #[test]
     fn known_small_cases() {

@@ -73,16 +73,15 @@ pub fn solve_memoized<P: DpProblem, E: Executor>(problem: &P, exec: &E) -> MemoR
     }
 }
 
-fn resolve<P: DpProblem, E: Executor>(
-    state: &MemoState<'_, P>,
-    exec: &E,
-    cell: usize,
-) -> P::Value {
+fn resolve<P: DpProblem, E: Executor>(state: &MemoState<'_, P>, exec: &E, cell: usize) -> P::Value {
     // Fast paths: already computed, or already being computed by someone else.
     match state.states[cell].load(Ordering::Acquire) {
         DONE => {
             state.repeated_probes.fetch_add(1, Ordering::Relaxed);
-            return state.values[cell].get().expect("done implies value").clone();
+            return state.values[cell]
+                .get()
+                .expect("done implies value")
+                .clone();
         }
         IN_PROGRESS => {
             state.repeated_probes.fetch_add(1, Ordering::Relaxed);
@@ -154,7 +153,10 @@ fn wait_for<P: DpProblem>(state: &MemoState<'_, P>, cell: usize) -> P::Value {
         state.notify.wait(&mut guard);
     }
     drop(guard);
-    state.values[cell].get().expect("done implies value").clone()
+    state.values[cell]
+        .get()
+        .expect("done implies value")
+        .clone()
 }
 
 #[cfg(test)]

@@ -143,6 +143,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op, clippy::identity_op)] // row-major `row * n + col` indexing
     fn reference_shortest_paths() {
         let g = sample_graph();
         let d = g.reference();
@@ -171,6 +172,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op, clippy::identity_op)] // row-major `row * n + col` indexing
     fn disconnected_vertices_stay_at_infinity() {
         let g = FloydWarshall::from_edges(3, &[(0, 1, 5)]);
         let d = g.reference();

@@ -108,7 +108,10 @@ mod tests {
 
     #[test]
     fn all_schedulers_match_reference() {
-        let p = Lcs::new(*b"parallel algorithmic threads", *b"low degree parallel ram");
+        let p = Lcs::new(
+            *b"parallel algorithmic threads",
+            *b"low degree parallel ram",
+        );
         let expected = p.reference();
         assert_eq!(solve_sequential(&p).goal, expected);
         let pool = PalPool::new(4).unwrap();

@@ -94,7 +94,9 @@ mod tests {
 
     #[test]
     fn all_schedulers_match_reference() {
-        let p = Lis::new(vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4]);
+        let p = Lis::new(vec![
+            3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 3, 8, 4,
+        ]);
         let expected = p.reference();
         let pool = PalPool::new(4).unwrap();
         assert_eq!(solve_sequential(&p).goal, expected);

@@ -26,10 +26,7 @@ impl RodCutting {
         if piece == 0 {
             0
         } else {
-            self.prices
-                .get(piece - 1)
-                .copied()
-                .unwrap_or(0)
+            self.prices.get(piece - 1).copied().unwrap_or(0)
         }
     }
 

@@ -59,7 +59,13 @@ pub fn solve_sequential<P: DpProblem>(problem: &P) -> DpSolution<P::Value> {
         let v = problem.compute(cell, &get);
         values[cell] = Some(v);
     }
-    finish(problem, values.into_iter().map(|v| v.expect("all cells computed")).collect())
+    finish(
+        problem,
+        values
+            .into_iter()
+            .map(|v| v.expect("all cells computed"))
+            .collect(),
+    )
 }
 
 /// Evaluate the table antichain by antichain (§4.3): the cells of one level
@@ -100,11 +106,7 @@ pub fn solve_counter<P: DpProblem, E: Executor>(problem: &P, exec: &E) -> DpSolu
     assert!(dag.is_acyclic(), "dependency graph must be acyclic");
 
     // cv ← in-degree of v (number of vertices v depends on).
-    let counters: Vec<AtomicUsize> = dag
-        .in_degrees()
-        .into_iter()
-        .map(AtomicUsize::new)
-        .collect();
+    let counters: Vec<AtomicUsize> = dag.in_degrees().into_iter().map(AtomicUsize::new).collect();
     let table: Vec<OnceLock<P::Value>> = (0..n).map(|_| OnceLock::new()).collect();
     // Ready queue seeded with the base cases (in-degree 0), in creation order.
     let ready: Mutex<std::collections::VecDeque<usize>> = Mutex::new(
@@ -217,7 +219,7 @@ mod tests {
     fn row_col(cell: usize) -> (usize, usize) {
         let mut r = 0usize;
         let mut acc = 0usize;
-        while acc + r + 1 <= cell {
+        while acc + r < cell {
             acc += r + 1;
             r += 1;
         }
@@ -276,8 +278,16 @@ mod tests {
         let expected = solve_sequential(&p);
         for procs in [1usize, 2, 3, 4, 8] {
             let pool = PalPool::new(procs).unwrap();
-            assert_eq!(solve_counter(&p, &pool).values, expected.values, "p = {procs}");
-            assert_eq!(solve_wavefront(&p, &pool).values, expected.values, "p = {procs}");
+            assert_eq!(
+                solve_counter(&p, &pool).values,
+                expected.values,
+                "p = {procs}"
+            );
+            assert_eq!(
+                solve_wavefront(&p, &pool).values,
+                expected.values,
+                "p = {procs}"
+            );
         }
     }
 

@@ -190,8 +190,8 @@ mod tests {
                 );
             }
         }
-        for v in 0..dag.len() {
-            assert_eq!(r.finish_times[v], r.start_times[v] + costs[v]);
+        for (v, &cost) in costs.iter().enumerate() {
+            assert_eq!(r.finish_times[v], r.start_times[v] + cost);
         }
     }
 

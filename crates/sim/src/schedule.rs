@@ -419,7 +419,12 @@ mod tests {
     fn activation_times_by_level(tree: &TaskTree, result: &SimResult) -> Vec<Vec<u64>> {
         tree.levels()
             .iter()
-            .map(|level| level.iter().map(|&id| result.records[id].activated_at).collect())
+            .map(|level| {
+                level
+                    .iter()
+                    .map(|&id| result.records[id].activated_at)
+                    .collect()
+            })
             .collect()
     }
 

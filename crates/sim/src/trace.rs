@@ -164,7 +164,10 @@ mod tests {
         let (tree, result) = figure1();
         let t = result.makespan + 1;
         for id in 0..tree.len() {
-            assert_eq!(node_state_at(&tree, &result, id, t), NodeSnapshotState::Done);
+            assert_eq!(
+                node_state_at(&tree, &result, id, t),
+                NodeSnapshotState::Done
+            );
         }
     }
 

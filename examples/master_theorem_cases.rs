@@ -40,7 +40,9 @@ fn main() {
     );
 
     // Case 2: mergesort, T(n) = 2T(n/2) + n.
-    let data: Vec<i64> = (0..1 << 20).map(|i| (i * 2_654_435_761u64 as i64) % 1_000_003).collect();
+    let data: Vec<i64> = (0..1 << 20)
+        .map(|i| (i * 2_654_435_761u64 as i64) % 1_000_003)
+        .collect();
     let t1 = time(|| {
         let mut v = data.clone();
         merge_sort(&seq, &mut v);

@@ -1,0 +1,249 @@
+//! Minimal, API-compatible shim for the subset of [`proptest`] this workspace
+//! uses: the [`proptest!`] macro with `pat in strategy` bindings, range and
+//! tuple strategies, [`collection::vec`], [`ProptestConfig::with_cases`] and
+//! the `prop_assert*` macros.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched.  This shim runs each property as a plain `#[test]` over
+//! `config.cases` deterministically seeded random inputs.  Failures panic
+//! with the failing assertion like a normal test; there is no shrinking,
+//! persistence or failure-case replay — swap in the real crate for those.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+
+use rand::prelude::*;
+
+/// Configuration for a property block — the shim of
+/// `proptest::test_runner::Config` under its conventional alias.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic generator driving a property run.
+#[derive(Debug)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Seed a generator from the property's name, so every property gets a
+    /// distinct but reproducible input stream.
+    pub fn deterministic(name: &str) -> Self {
+        let mut hasher = DefaultHasher::new();
+        name.hash(&mut hasher);
+        TestRng {
+            rng: StdRng::seed_from_u64(hasher.finish()),
+        }
+    }
+}
+
+/// A source of random values — the shim of `proptest::strategy::Strategy`.
+///
+/// Unlike the real trait this samples values directly (no value trees, no
+/// shrinking).
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Collection strategies — the shim of `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length drawn from
+    /// a range; the shim of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.start < self.size.end {
+                rng.rng.gen_range(self.size.clone())
+            } else {
+                self.size.start
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Define property tests — the shim of `proptest::proptest!`.
+///
+/// Each `#[test] fn name(pat in strategy, ..) { .. }` item becomes a plain
+/// test that checks the body against `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($items:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($items)* }
+    };
+    ($($items:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($items)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        #[test]
+        fn $name:ident ( $( $arg:pat in $strategy:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::deterministic(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for _ in 0..config.cases {
+                $( let $arg = $crate::Strategy::sample(&($strategy), &mut rng); )+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a property — the shim of
+/// `proptest::prop_assert!` (fails the test by panicking; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property — the shim of
+/// `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property — the shim of
+/// `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let mut rng = crate::TestRng::deterministic("vec_strategy_respects_bounds");
+        let strategy = collection::vec(-5i64..5, 2..10);
+        for _ in 0..200 {
+            let v = Strategy::sample(&strategy, &mut rng);
+            assert!((2..10).contains(&v.len()));
+            assert!(v.iter().all(|x| (-5..5).contains(x)));
+        }
+    }
+
+    #[test]
+    fn tuple_strategy_samples_componentwise() {
+        let mut rng = crate::TestRng::deterministic("tuple_strategy");
+        let strategy = (0usize..4, 10u64..20, -1.0f64..1.0);
+        for _ in 0..200 {
+            let (a, b, c) = Strategy::sample(&strategy, &mut rng);
+            assert!(a < 4);
+            assert!((10..20).contains(&b));
+            assert!((-1.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn same_property_name_resamples_identically() {
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        let s = 0u64..1000;
+        for _ in 0..50 {
+            assert_eq!(Strategy::sample(&s, &mut a), Strategy::sample(&s, &mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_generates_working_tests(v in collection::vec(0i64..100, 0..50), k in 1usize..4) {
+            prop_assert!(v.len() < 50);
+            prop_assert_eq!(k.min(3), k);
+            prop_assert_ne!(k, 0);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Minimal, API-compatible shim for the subset of [`rand`] 0.8 this workspace
+//! uses: `StdRng::seed_from_u64(..)` plus `Rng::gen_range(..)` over integer
+//! and float `Range`s.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched.  [`StdRng`] here is a SplitMix64 generator — deterministic for a
+//! given seed (which is all the workloads need: the workspace only draws
+//! reproducible test/bench inputs from it), but **not** the same stream as
+//! the real crate's `StdRng` and not cryptographically secure.
+//!
+//! [`rand`]: https://docs.rs/rand
+
+use std::ops::Range;
+
+/// A deterministic pseudo-random generator seedable from a `u64`, mirroring
+/// the `rand::SeedableRng` entry point the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Produce the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value uniformly from `range` (`start..end`, `start < end`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// The default seedable generator (SplitMix64; see the crate docs for how it
+/// differs from the real crate's `StdRng`).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Vigna): passes BigCrush, one add + two xor-shifts.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A range from which a value can be drawn uniformly, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draw one value from the range using `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // 53 uniform mantissa bits in [0, 1), divided in f64 so the
+                // quotient cannot round up to 1.0 even for the f32 target.
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let value = self.start + (unit as $t) * (self.end - self.start);
+                // `start + unit * span` can still round up onto `end`; keep
+                // the documented half-open contract.
+                if value < self.end {
+                    value
+                } else {
+                    <$t>::max(self.start, self.end.next_down())
+                }
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SampleRange, SeedableRng, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i64 = rng.gen_range(-1000..1000);
+            assert!((-1000..1000).contains(&v));
+            let u: u8 = rng.gen_range(0..4);
+            assert!(u < 4);
+            let w: usize = rng.gen_range(0..17);
+            assert!(w < 17);
+        }
+    }
+
+    #[test]
+    fn int_range_covers_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 4 buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_range_excludes_upper_bound_even_at_generator_extremes() {
+        // A generator pinned at u64::MAX maximises `unit`; the sampled value
+        // must still respect the half-open [start, end) contract.
+        struct MaxRng;
+        impl crate::RngCore for MaxRng {
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+        }
+        let f: f32 = crate::SampleRange::sample_single(0.0f32..1.0f32, &mut MaxRng);
+        assert!((0.0..1.0).contains(&f), "f32 sample {f} escaped the range");
+        let d: f64 = crate::SampleRange::sample_single(-2.0f64..3.0f64, &mut MaxRng);
+        assert!((-2.0..3.0).contains(&d), "f64 sample {d} escaped the range");
+    }
+
+    #[test]
+    fn full_i64_range_does_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let _: i64 = rng.gen_range(i64::MIN..i64::MAX);
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! Minimal, API-compatible shim for the subset of [`rayon`] this workspace
+//! uses: [`ThreadPool`] (via [`ThreadPoolBuilder`]) with [`ThreadPool::join`],
+//! [`ThreadPool::install`] and [`ThreadPool::in_place_scope`], plus the free
+//! [`join`] function.
+//!
+//! The build container has no network access, so the real crate cannot be
+//! fetched.  Instead of a work-stealing deque runtime, this shim bounds
+//! parallelism with a counting semaphore of `p − 1` "extra processor" permits
+//! (the calling thread is the remaining processor): a forked task runs on a
+//! fresh OS thread when a permit is free and inline in its parent otherwise.
+//! That preserves the properties the workspace relies on —
+//!
+//! * at most `num_threads` tasks of a pool execute concurrently,
+//! * `join`/scopes block until every forked task finished, so borrowing the
+//!   enclosing stack is safe,
+//! * panics in forked tasks propagate to the forking caller,
+//! * a pool with one thread degenerates to sequential execution in creation
+//!   order —
+//!
+//! but tasks that were folded into their parent never migrate to a processor
+//! that frees up later, and one OS thread is spawned per forked task rather
+//! than reusing `p` workers.  Both are acceptable for the test/bench
+//! workloads here and can be revisited by swapping in the real crate.
+//!
+//! [`rayon`]: https://docs.rs/rayon
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::mem;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread;
+
+/// Non-blocking counting semaphore over "extra processor" permits.
+#[derive(Debug)]
+struct Tokens {
+    free: AtomicUsize,
+}
+
+impl Tokens {
+    fn new(extra: usize) -> Arc<Self> {
+        Arc::new(Tokens {
+            free: AtomicUsize::new(extra),
+        })
+    }
+
+    fn try_acquire(self: &Arc<Self>) -> Option<Permit> {
+        let mut cur = self.free.load(Ordering::Acquire);
+        loop {
+            if cur == 0 {
+                return None;
+            }
+            match self
+                .free
+                .compare_exchange_weak(cur, cur - 1, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    return Some(Permit {
+                        tokens: Arc::clone(self),
+                    })
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// RAII permit for one extra processor; released on drop (including panic).
+#[derive(Debug)]
+struct Permit {
+    tokens: Arc<Tokens>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.tokens.free.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+thread_local! {
+    /// The token pool `install`ed on (or inherited by) the current thread.
+    static CURRENT: RefCell<Option<Arc<Tokens>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previous thread-local token pool on drop.
+struct CurrentReset {
+    prev: Option<Arc<Tokens>>,
+}
+
+impl Drop for CurrentReset {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+fn set_current(tokens: Arc<Tokens>) -> CurrentReset {
+    CURRENT.with(|c| CurrentReset {
+        prev: c.borrow_mut().replace(tokens),
+    })
+}
+
+fn default_parallelism() -> usize {
+    thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Token pool used by the free [`join`] outside any [`ThreadPool::install`]:
+/// sized to the host's parallelism, like rayon's global pool.
+fn global_tokens() -> Arc<Tokens> {
+    static GLOBAL: OnceLock<Arc<Tokens>> = OnceLock::new();
+    Arc::clone(GLOBAL.get_or_init(|| Tokens::new(default_parallelism().saturating_sub(1))))
+}
+
+fn current_tokens() -> Arc<Tokens> {
+    CURRENT
+        .with(|c| c.borrow().clone())
+        .unwrap_or_else(global_tokens)
+}
+
+/// Run `a` on the calling thread; run `b` on an extra processor if one is
+/// free and inline (after `a`) otherwise.  Returns when both are done.
+fn join_with<A, B, RA, RB>(tokens: &Arc<Tokens>, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if let Some(permit) = tokens.try_acquire() {
+        let child_tokens = Arc::clone(tokens);
+        thread::scope(|s| {
+            let handle = s.spawn(move || {
+                let _permit = permit;
+                let _reset = set_current(child_tokens);
+                b()
+            });
+            let ra = a();
+            match handle.join() {
+                Ok(rb) => (ra, rb),
+                Err(payload) => resume_unwind(payload),
+            }
+        })
+    } else {
+        (a(), b())
+    }
+}
+
+/// Execute `oper_a` and `oper_b`, potentially in parallel, and return both
+/// results — the shim of `rayon::join`.
+///
+/// Uses the pool `install`ed on the current thread, or a host-sized global
+/// pool otherwise.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    join_with(&current_tokens(), oper_a, oper_b)
+}
+
+/// A bounded fork/join pool — the shim of `rayon::ThreadPool`.
+pub struct ThreadPool {
+    threads: usize,
+    tokens: Arc<Tokens>,
+}
+
+impl ThreadPool {
+    /// Number of threads this pool was built for.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run two closures, potentially in parallel on this pool; see [`join`].
+    pub fn join<A, B, RA, RB>(&self, oper_a: A, oper_b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        join_with(&self.tokens, oper_a, oper_b)
+    }
+
+    /// Run `op` with this pool as the current pool of the calling thread, so
+    /// nested calls to the free [`join`] are bounded by this pool.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let _reset = set_current(Arc::clone(&self.tokens));
+        op()
+    }
+
+    /// Open a scope on the calling thread in which tasks can be spawned; the
+    /// scope returns only after every spawned task has finished.
+    pub fn in_place_scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+    {
+        scope_with_tokens(Arc::clone(&self.tokens), op)
+    }
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builder for [`ThreadPool`] — the shim of `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Use exactly `num_threads` threads (0 means the host's parallelism).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Accepted for API compatibility; this shim spawns anonymous threads
+    /// per forked task, so the name function is not applied.
+    pub fn thread_name<F>(self, _name_fn: F) -> Self
+    where
+        F: FnMut(usize) -> String + 'static,
+    {
+        self
+    }
+
+    /// Build the pool.  Never fails in this shim; the `Result` mirrors the
+    /// real crate's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_parallelism()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool {
+            threads,
+            tokens: Tokens::new(threads - 1),
+        })
+    }
+}
+
+impl fmt::Debug for ThreadPoolBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPoolBuilder")
+            .field("num_threads", &self.num_threads)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Error building a [`ThreadPool`]; never produced by this shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Shared state of one scope: its token pool, the OS threads it has forked,
+/// and the first panic payload observed in a spawned task.
+struct ScopeState {
+    tokens: Arc<Tokens>,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeState {
+    fn stash_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().unwrap_or_else(|p| p.into_inner());
+        slot.get_or_insert(payload);
+    }
+
+    /// Join every forked thread, including ones forked while joining.
+    fn join_all(&self) {
+        loop {
+            let handle = {
+                let mut handles = self.handles.lock().unwrap_or_else(|p| p.into_inner());
+                handles.pop()
+            };
+            match handle {
+                // Task panics are stashed via `stash_panic`, so `join`
+                // itself only fails if the runtime is already broken.
+                Some(h) => drop(h.join()),
+                None => break,
+            }
+        }
+    }
+}
+
+/// A scope in which tasks borrowing `'scope` data can be spawned — the shim
+/// of `rayon::Scope`.
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    // Invariant in 'scope, like the real crate.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a task: on a fresh OS thread if an extra processor permit is
+    /// free, inline (immediately, in creation order) otherwise.  The
+    /// enclosing scope waits for the task; a panic in the task propagates
+    /// from the scope entry point.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        if let Some(permit) = self.state.tokens.try_acquire() {
+            let task: Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope> = Box::new(f);
+            // SAFETY: every spawned thread is joined in `scope_with_tokens`
+            // before the scope entry point returns (even when the scope body
+            // panics), so the task cannot outlive the `'scope` data it
+            // borrows.  `Scope<'scope>` and `Scope<'static>` differ only in
+            // a PhantomData lifetime and are layout-identical.
+            #[allow(unsafe_code)]
+            let task: Box<dyn FnOnce(&Scope<'static>) + Send + 'static> =
+                unsafe { mem::transmute(task) };
+            let state = Arc::clone(&self.state);
+            let handle = thread::spawn(move || {
+                let _permit = permit;
+                let _reset = set_current(Arc::clone(&state.tokens));
+                let scope = Scope::<'static> {
+                    state: Arc::clone(&state),
+                    _marker: PhantomData,
+                };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(&scope))) {
+                    state.stash_panic(payload);
+                }
+            });
+            let mut handles = self.state.handles.lock().unwrap_or_else(|p| p.into_inner());
+            handles.push(handle);
+        } else if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(self))) {
+            // Inline like the thread path: defer the panic to the scope end
+            // so sibling tasks still run and threads are still joined.
+            self.state.stash_panic(payload);
+        }
+    }
+}
+
+impl fmt::Debug for Scope<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scope").finish_non_exhaustive()
+    }
+}
+
+fn scope_with_tokens<'scope, OP, R>(tokens: Arc<Tokens>, op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let scope = Scope {
+        state: Arc::new(ScopeState {
+            tokens,
+            handles: Mutex::new(Vec::new()),
+            panic: Mutex::new(None),
+        }),
+        _marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    // Always join before unwinding: spawned tasks may borrow 'scope data.
+    scope.state.join_all();
+    let stashed = {
+        let mut slot = scope.state.panic.lock().unwrap_or_else(|p| p.into_inner());
+        slot.take()
+    };
+    match result {
+        Err(payload) => resume_unwind(payload),
+        Ok(r) => {
+            if let Some(payload) = stashed {
+                resume_unwind(payload);
+            }
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn free_join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "abc".len());
+        assert_eq!((a, b), (2, 3));
+    }
+
+    #[test]
+    fn pool_join_recursive_sum() {
+        fn sum(pool: &ThreadPool, data: &[u64]) -> u64 {
+            if data.len() <= 4 {
+                return data.iter().sum();
+            }
+            let (lo, hi) = data.split_at(data.len() / 2);
+            let (a, b) = pool.join(|| sum(pool, lo), || sum(pool, hi));
+            a + b
+        }
+        let data: Vec<u64> = (0..1024).collect();
+        for p in [1, 2, 4] {
+            let pool = ThreadPoolBuilder::new().num_threads(p).build().unwrap();
+            assert_eq!(sum(&pool, &data), 1023 * 1024 / 2, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn pool_join_propagates_child_panic_and_stays_usable() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.join(|| 1, || -> i32 { panic!("boom") });
+        }));
+        assert!(result.is_err());
+        assert_eq!(pool.join(|| 1, || 2), (1, 2));
+    }
+
+    #[test]
+    fn scope_runs_all_tasks_and_borrows_stack() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let counter = AtomicUsize::new(0);
+        pool.in_place_scope(|s| {
+            for _ in 0..50 {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn scope_tasks_can_spawn_nested_tasks() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let counter = AtomicUsize::new(0);
+        pool.in_place_scope(|s| {
+            let counter = &counter;
+            s.spawn(move |inner| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                inner.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn single_thread_scope_runs_inline_in_creation_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let order = Mutex::new(Vec::new());
+        pool.in_place_scope(|s| {
+            for i in 0..10 {
+                let order = &order;
+                s.spawn(move |_| order.lock().unwrap().push(i));
+            }
+        });
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_task_panic_propagates_after_joining_all() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let ran = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.in_place_scope(|s| {
+                s.spawn(|_| panic!("task failed"));
+                let ran = &ran;
+                s.spawn(move |_| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "sibling task still ran");
+    }
+
+    #[test]
+    fn install_bounds_the_free_join() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let total = pool.install(|| {
+            let data: Vec<u64> = (0..256).collect();
+            fn sum(data: &[u64]) -> u64 {
+                if data.len() <= 8 {
+                    return data.iter().sum();
+                }
+                let (lo, hi) = data.split_at(data.len() / 2);
+                let (a, b) = join(|| sum(lo), || sum(hi));
+                a + b
+            }
+            sum(&data)
+        });
+        assert_eq!(total, 255 * 256 / 2);
+    }
+}

@@ -20,6 +20,12 @@
 
 #![warn(missing_docs)]
 
+// Doc-test the README's quickstart snippet so the manifest wiring it
+// exercises (umbrella re-exports, prelude, cross-crate deps) cannot rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
 pub use lopram_analysis as analysis;
 pub use lopram_core as core;
 pub use lopram_dnc as dnc;

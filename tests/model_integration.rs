@@ -4,7 +4,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use lopram::core::{processors_for, palthreads, PalPool, ProcessorPolicy, SerCell, ThrottledPool};
+use lopram::core::{palthreads, processors_for, PalPool, ProcessorPolicy, SerCell, ThrottledPool};
 use lopram::sim::CrewMemory;
 
 #[test]
@@ -12,10 +12,7 @@ fn processor_policy_is_logarithmic_in_n() {
     // §3.2: p = O(log n).  The unclamped policy is exactly ⌊log₂ n⌋.
     for exp in 1..=30u32 {
         let n = 1usize << exp;
-        assert_eq!(
-            ProcessorPolicy::LogN.processors_unclamped(n),
-            exp as usize
-        );
+        assert_eq!(ProcessorPolicy::LogN.processors_unclamped(n), exp as usize);
     }
     assert!(processors_for(1 << 16, ProcessorPolicy::LogN) >= 1);
 }

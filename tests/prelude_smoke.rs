@@ -1,0 +1,87 @@
+//! Smoke test for the umbrella crate's manifest wiring: every sub-crate must
+//! be reachable through `lopram::prelude` (and the `solve_dnc` renames must
+//! keep pointing at the divide-and-conquer framework).  A failure here means
+//! a workspace manifest or re-export regressed, not an algorithm.
+
+use lopram::prelude::*;
+
+#[test]
+fn prelude_reexports_resolve_across_every_subcrate() {
+    // core: policy + pool.
+    let p = processors_for(1 << 10, ProcessorPolicy::LogN);
+    assert!((1..=10).contains(&p));
+    let pool = PalPool::new(2).expect("two processors");
+    assert_eq!(pool.processors(), 2);
+
+    // dnc: algorithm entry point via the prelude re-export.
+    let mut data = vec![5i64, 1, 4, 2, 3];
+    merge_sort(&pool, &mut data);
+    assert_eq!(data, vec![1, 2, 3, 4, 5]);
+
+    // analysis: recurrence + Master classification.
+    let rec = Recurrence::new(2, 2, Growth::linear(1.0));
+    let bound = parallel_master_bound(&rec, MergeMode::Sequential);
+    assert_eq!(bound.speedup, SpeedupClass::Linear);
+
+    // dp: one problem through the sequential and one parallel solver.
+    let problem = Lcs::new(b"lopram".to_vec(), b"program".to_vec());
+    let seq = solve_sequential(&problem).goal;
+    assert_eq!(seq, solve_wavefront(&problem, &pool).goal);
+
+    // sim: a tiny cost tree through the step-accurate scheduler.
+    let costs = CostSpec {
+        divide: Box::new(|_| 0),
+        merge: Box::new(|s| s as u64),
+        base: Box::new(|_| 1),
+    };
+    let tree = TaskTree::divide_and_conquer(1 << 6, 2, 2, 1, &costs);
+    let sim = TreeSimulator::new(&tree).run(2);
+    assert!(sim.makespan > 0);
+}
+
+#[test]
+fn dnc_framework_renames_avoid_dp_name_clash() {
+    // `solve_dnc`/`solve_dnc_sequential` are the renamed dnc framework entry
+    // points; `solve_sequential` (no suffix) must stay the dp solver.
+    struct SumProblem;
+
+    impl DncProblem for SumProblem {
+        type Input = Vec<u64>;
+        type Output = u64;
+
+        fn size(&self, input: &Vec<u64>) -> usize {
+            input.len()
+        }
+
+        fn is_base(&self, input: &Vec<u64>) -> bool {
+            input.len() <= 4
+        }
+
+        fn solve_base(&self, input: Vec<u64>) -> u64 {
+            input.iter().sum()
+        }
+
+        fn divide(&self, input: Vec<u64>) -> Vec<Vec<u64>> {
+            let mid = input.len() / 2;
+            let (lo, hi) = input.split_at(mid);
+            vec![lo.to_vec(), hi.to_vec()]
+        }
+
+        fn merge(&self, _size: usize, outputs: Vec<u64>) -> u64 {
+            outputs.iter().sum()
+        }
+
+        fn recurrence(&self) -> Recurrence {
+            Recurrence::new(2, 2, Growth::constant(1.0))
+        }
+    }
+
+    let data: Vec<u64> = (0..64).collect();
+    let expected: u64 = data.iter().sum();
+    assert_eq!(solve_dnc_sequential(&SumProblem, data.clone()), expected);
+
+    let pool = PalPool::new(2).expect("two processors");
+    let stats = DncRun::new();
+    assert_eq!(solve_dnc(&SumProblem, &pool, data, &stats), expected);
+    assert!(stats.total_nodes() > 0);
+}

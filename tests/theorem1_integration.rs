@@ -2,9 +2,7 @@
 //! predictions, the simulator's schedules and the real pal-thread runtime
 //! must tell the same story for all three Master-theorem cases.
 
-use lopram::analysis::{
-    parallel_master_bound, recurrence::catalog, MergeMode, SpeedupClass,
-};
+use lopram::analysis::{parallel_master_bound, recurrence::catalog, MergeMode, SpeedupClass};
 use lopram::core::{PalPool, SeqExecutor};
 use lopram::dnc::case3::{cross_product_sum, pair_sum_oracle, CrossMergeMode};
 use lopram::dnc::karatsuba::{karatsuba_mul, schoolbook_mul};
