@@ -1,10 +1,12 @@
 //! Criterion benchmarks for experiment E12: the pal-thread pool, the eager
 //! throttled ablation and raw rayon on the same mergesort workload.
 //!
-//! Caveat for offline builds: `rayon` currently resolves to the workspace
-//! shim (`shims/rayon`, an OS-thread-per-fork semaphore pool, no work
-//! stealing), so the "rayon" rows measure the shim — not upstream rayon.
-//! Re-run against the real crate before quoting them as a rayon baseline.
+//! Caveat for offline builds: `rayon` resolves to the workspace shim
+//! (`shims/rayon`) — since PR 2 a real bounded work-stealing runtime with
+//! `p` persistent workers, per-worker deques and help-first join, i.e. the
+//! same runtime `PalPool` wraps.  The "rayon" rows are therefore a sanity
+//! baseline for the pool plumbing, not an upstream-rayon measurement;
+//! re-run against the published crate before quoting them as one.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lopram_bench::random_vec;

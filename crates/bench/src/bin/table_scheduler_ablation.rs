@@ -2,32 +2,78 @@
 //!
 //! Compares three executors on the same pal-thread mergesort:
 //!
-//! * the default [`PalPool`] (bounded work-stealing pool — pending
-//!   pal-threads stay available to idle processors, the property the paper's
-//!   scheduler relies on);
+//! * the default [`PalPool`] (bounded work-stealing pool: pending
+//!   pal-threads stay in per-worker deques and idle processors steal the
+//!   oldest first — the §3.1 activation rule Theorem 1 relies on);
 //! * the [`ThrottledPool`] ablation (spawn-or-inline decided eagerly at
-//!   creation time, no pending queue);
-//! * raw rayon with the same number of threads (the modern work-stealing
-//!   baseline named in the reproduction notes).
+//!   creation time, no pending queue, no migration — `steals` is zero by
+//!   construction);
+//! * raw `rayon` with the same number of threads (in this offline workspace
+//!   that resolves to `shims/rayon`, which since PR 2 *is* a real bounded
+//!   work-stealing runtime — the same one `PalPool` wraps — so this column
+//!   is a sanity baseline, not an upstream-rayon measurement).
 //!
-//! Caveat for offline builds: `rayon` currently resolves to the workspace
-//! shim (`shims/rayon`), so the "rayon" column measures the shim — not
-//! upstream rayon.  The printed note repeats this.
-//!
-//! The gap between the first two quantifies how much the paper's "pending
-//! pal-threads are activated … as resources become available" rule matters.
+//! Besides wall-clock times the table reports each scheduler's
+//! spawned/inlined/steal counters on an *unbalanced* divide-and-conquer
+//! workload, where the schedulers genuinely diverge: `PalPool` keeps
+//! migrating the heavy pending subtree to whichever processor frees up,
+//! while `ThrottledPool` grants a processor once and then runs the rest of
+//! the chain inline.  `--smoke` runs a reduced grid and asserts the
+//! divergence (CI gates on it).
 
 use std::time::Duration;
 
 use lopram_bench::{measure, random_vec, PROCESSOR_SWEEP};
-use lopram_core::{PalPool, ThrottledPool};
+use lopram_core::{Executor, PalPool, ThrottledPool};
 use lopram_dnc::mergesort::{merge_sort, merge_sort_seq};
 
+/// An unbalanced divide-and-conquer tree: each level forks one light leaf
+/// (`a`, runs immediately on the forking processor) and one heavy pending
+/// subtree (`b`, the rest of the chain).  Under the eager scheduler the
+/// first fork takes the free processor and everything below it is inlined;
+/// under work stealing the pending chain keeps migrating to freed
+/// processors.
+fn unbalanced<E: Executor>(exec: &E, depth: u32) {
+    if depth == 0 {
+        std::thread::sleep(Duration::from_millis(2));
+        return;
+    }
+    exec.join(
+        || std::thread::sleep(Duration::from_millis(1)),
+        || unbalanced(exec, depth - 1),
+    );
+}
+
+struct SchedulerRow {
+    label: &'static str,
+    p: usize,
+    time: Duration,
+    spawned: u64,
+    inlined: u64,
+    steals: u64,
+}
+
+fn print_rows(rows: &[SchedulerRow]) {
+    println!(
+        "{:>10} {:>4} {:>12} {:>9} {:>9} {:>8}",
+        "scheduler", "p", "time", "spawned", "inlined", "steals"
+    );
+    for r in rows {
+        println!(
+            "{:>10} {:>4} {:>12.3?} {:>9} {:>9} {:>8}",
+            r.label, r.p, r.time, r.spawned, r.inlined, r.steals
+        );
+    }
+}
+
 fn main() {
-    let runs = 3;
-    let n = 1usize << 21;
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let runs = if smoke { 1 } else { 3 };
+    let n = if smoke { 1usize << 15 } else { 1usize << 21 };
+    let depth = if smoke { 10 } else { 14 };
     let data = random_vec(n, 1);
 
+    // -- Part 1: wall-clock on the paper's mergesort ----------------------
     let t1 = measure(runs, || {
         let mut v = data.clone();
         merge_sort_seq(&mut v);
@@ -40,29 +86,39 @@ fn main() {
         "p", "PalPool", "speedup", "Throttled", "speedup", "rayon", "speedup"
     );
     for &p in &PROCESSOR_SWEEP {
-        let pal = PalPool::new(p).expect("p >= 1");
-        let t_pal = measure(runs, || {
-            let mut v = data.clone();
-            merge_sort(&pal, &mut v);
-            std::hint::black_box(v);
-        });
+        // Each pool is dropped before the next scheduler is timed: since
+        // the runtime rewrite, pools own persistent workers that idle-poll,
+        // and a lingering pool would skew the next measurement on a
+        // small-core host.
+        let t_pal = {
+            let pal = PalPool::new(p).expect("p >= 1");
+            measure(runs, || {
+                let mut v = data.clone();
+                merge_sort(&pal, &mut v);
+                std::hint::black_box(v);
+            })
+        };
 
-        let throttled = ThrottledPool::new(p).expect("p >= 1");
-        let t_throttled = measure(runs, || {
-            let mut v = data.clone();
-            merge_sort(&throttled, &mut v);
-            std::hint::black_box(v);
-        });
+        let t_throttled = {
+            let throttled = ThrottledPool::new(p).expect("p >= 1");
+            measure(runs, || {
+                let mut v = data.clone();
+                merge_sort(&throttled, &mut v);
+                std::hint::black_box(v);
+            })
+        };
 
-        let rayon_pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(p)
-            .build()
-            .expect("rayon pool");
-        let t_rayon = measure(runs, || {
-            let mut v = data.clone();
-            rayon_pool.install(|| rayon_merge_sort(&mut v));
-            std::hint::black_box(v);
-        });
+        let t_rayon = {
+            let rayon_pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(p)
+                .build()
+                .expect("rayon pool");
+            measure(runs, || {
+                let mut v = data.clone();
+                rayon_pool.install(|| rayon_merge_sort(&mut v));
+                std::hint::black_box(v);
+            })
+        };
 
         let s = |t: Duration| t1.as_secs_f64() / t.as_secs_f64().max(1e-12);
         println!(
@@ -76,11 +132,71 @@ fn main() {
             s(t_rayon)
         );
     }
-    println!("\nReading: PalPool tracks raw rayon closely (both keep pending work available to");
-    println!("idle processors); the eager ThrottledPool loses speedup because a pal-thread that");
-    println!("was folded into its parent can never migrate to a processor that frees up later.");
-    println!("NOTE: in offline builds the rayon column is the workspace shim (shims/rayon),");
-    println!("not upstream rayon — swap in the real crate before quoting it as a baseline.");
+
+    // -- Part 2: scheduling divergence on an unbalanced tree --------------
+    println!("\nUnbalanced divide-and-conquer chain, depth = {depth} (per-scheduler counters):\n");
+    let mut rows = Vec::new();
+    let mut pal_steals_total = 0;
+    let mut throttled_steals_total = 0;
+    // One timed run per scheduler, by hand rather than through `measure`:
+    // its hidden warm-up execution would double every counter and pair a
+    // 1-run time with 2-run spawn/steal columns.
+    for &p in &[2usize, 4] {
+        {
+            let pal = PalPool::new(p).expect("p >= 1");
+            let start = std::time::Instant::now();
+            unbalanced(&pal, depth);
+            let t = start.elapsed();
+            let m = pal.metrics().snapshot();
+            pal_steals_total += m.steals;
+            rows.push(SchedulerRow {
+                label: "PalPool",
+                p,
+                time: t,
+                spawned: m.spawned,
+                inlined: m.inlined,
+                steals: m.steals,
+            });
+        }
+
+        let throttled = ThrottledPool::new(p).expect("p >= 1");
+        let start = std::time::Instant::now();
+        unbalanced(&throttled, depth);
+        let t = start.elapsed();
+        let m = throttled.metrics().snapshot();
+        throttled_steals_total += m.steals;
+        rows.push(SchedulerRow {
+            label: "Throttled",
+            p,
+            time: t,
+            spawned: m.spawned,
+            inlined: m.inlined,
+            steals: m.steals,
+        });
+    }
+    print_rows(&rows);
+
+    println!("\nReading: the work-stealing PalPool keeps the heavy pending subtree available and");
+    println!("migrates it to whichever processor frees up (steals > 0), so pal-threads created");
+    println!("while all processors were busy still end up running in parallel.  The eager");
+    println!("ThrottledPool decides spawn-vs-inline once, at creation: steals is structurally 0");
+    println!("and everything below its first spawn runs sequentially in the parent.");
+
+    if smoke {
+        // E12's reason to exist: the two schedulers must actually diverge.
+        // (Before PR 2 the rayon shim was itself eager, so this experiment
+        // compared the no-migration rule against itself.)
+        assert!(
+            pal_steals_total >= 1,
+            "PalPool recorded no steals on an unbalanced workload — the work-stealing \
+             runtime is not migrating pending pal-threads"
+        );
+        assert_eq!(
+            throttled_steals_total, 0,
+            "ThrottledPool is the no-migration ablation; it must never steal"
+        );
+        println!("\nsmoke: OK (PalPool steals = {pal_steals_total}, Throttled steals = 0)");
+    }
 }
 
 fn rayon_merge_sort(data: &mut [i64]) {

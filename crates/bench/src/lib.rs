@@ -18,6 +18,8 @@
 //! | `table_dag_width`      | §4.3/§4.6 antichain widths and speedup bounds |
 //! | `table_memoization`    | §4.5 parallel memoization vs bottom-up |
 //! | `table_varying_p`      | §3.2 correctness and time as a function of p |
+//! | `table_scheduler_ablation` | E12: work-stealing `PalPool` vs eager `ThrottledPool` (steal/spawn/inline counters, `--smoke` asserts divergence) |
+//! | `table_sim_speedup`    | simulator speedup sweep |
 //!
 //! This crate is an internal tool (`publish = false`); its library half holds
 //! the shared measurement and pretty-printing helpers.

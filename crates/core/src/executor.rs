@@ -3,11 +3,14 @@
 //! The divide-and-conquer and dynamic-programming crates are written against
 //! the [`Executor`] trait so that the same algorithm text can run
 //! sequentially (the paper's `T(n) = T_1(n)` baseline), on a [`PalPool`]
-//! (real pal-threads, §3.1), or — through the `lopram-sim` crate — on the
+//! (real pal-threads on a bounded work-stealing pool, §3.1), on the eager
+//! [`ThrottledPool`] ablation, or — through the `lopram-sim` crate — on the
 //! deterministic LoPRAM simulator.  This mirrors the paper's claim that
 //! work-optimal parallel algorithms are obtained from "simple modifications
 //! of sequential algorithms": the modification is just the choice of
-//! executor.
+//! executor.  Because `PalPool` and `ThrottledPool` expose the same trait,
+//! the scheduler-ablation experiment (E12) can run one algorithm body on
+//! both and compare their `RunMetrics` (spawned/inlined/steals) directly.
 
 use std::ops::Range;
 

@@ -17,9 +17,9 @@
 //!
 //! * [`ProcessorPolicy`] / [`processors_for`] — the `p = O(log n)` policy of
 //!   the paper (§3.2) plus fixed and machine-width policies for experiments;
-//! * [`PalPool`] — a bounded-degree fork/join runtime implementing the
-//!   pal-thread semantics of §3.1 ([`PalPool::join`], [`PalPool::scope`],
-//!   [`palthreads!`]);
+//! * [`PalPool`] — a bounded work-stealing fork/join runtime implementing
+//!   the pal-thread semantics of §3.1, pending-thread migration included
+//!   ([`PalPool::join`], [`PalPool::scope`], [`palthreads!`]);
 //! * [`Executor`] — an abstraction over sequential and pal-thread execution
 //!   used by the divide-and-conquer and dynamic-programming crates;
 //! * [`SerCell`] — the paper's transparently *serialized shared variable*;

@@ -6,6 +6,14 @@
 //! counts how many pal-threads were granted their own processor versus how
 //! many were folded into their parent (the paper's "no free cores ⇒ run
 //! sequentially" rule), which makes the cutoff depth of Figure 2 observable.
+//!
+//! On the work-stealing [`PalPool`](crate::PalPool) a pal-thread is granted
+//! a processor precisely by being *stolen*: an idle processor picks the
+//! oldest pending pal-thread off another processor's deque (§3.1's "pending
+//! pal-threads are activated … as resources become available").  The
+//! [`steals`](RunMetrics::steals) counter records those migrations; on the
+//! eager [`ThrottledPool`](crate::ThrottledPool) ablation it is always zero
+//! because spawn-vs-inline is decided irrevocably at creation time.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -18,6 +26,10 @@ pub struct RunMetrics {
     /// Number of pal-threads executed inline by their parent because all
     /// `p` processors were busy.
     pub inlined: AtomicU64,
+    /// Number of pending pal-threads that migrated to a processor other
+    /// than their creator (successful steals).  Zero on schedulers without
+    /// a pending queue (e.g. the `ThrottledPool` ablation).
+    pub steals: AtomicU64,
     /// Total abstract work units reported by the algorithm (optional).
     pub work: AtomicU64,
 }
@@ -38,6 +50,12 @@ impl RunMetrics {
         self.inlined.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record that a pending pal-thread was stolen by (migrated to) a
+    /// processor other than its creator.
+    pub fn record_steal(&self) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Add `units` of abstract work.
     pub fn record_work(&self, units: u64) {
         self.work.fetch_add(units, Ordering::Relaxed);
@@ -53,6 +71,11 @@ impl RunMetrics {
         self.inlined.load(Ordering::Relaxed)
     }
 
+    /// Number of pending pal-thread migrations (steals) so far.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
     /// Total abstract work recorded so far.
     pub fn work(&self) -> u64 {
         self.work.load(Ordering::Relaxed)
@@ -62,6 +85,7 @@ impl RunMetrics {
     pub fn reset(&self) {
         self.spawned.store(0, Ordering::Relaxed);
         self.inlined.store(0, Ordering::Relaxed);
+        self.steals.store(0, Ordering::Relaxed);
         self.work.store(0, Ordering::Relaxed);
     }
 
@@ -70,6 +94,7 @@ impl RunMetrics {
         MetricsSnapshot {
             spawned: self.spawned(),
             inlined: self.inlined(),
+            steals: self.steals(),
             work: self.work(),
         }
     }
@@ -82,6 +107,8 @@ pub struct MetricsSnapshot {
     pub spawned: u64,
     /// Pal-threads folded into their parent.
     pub inlined: u64,
+    /// Pending pal-thread migrations (steals).
+    pub steals: u64,
     /// Abstract work units.
     pub work: u64,
 }
@@ -131,9 +158,11 @@ mod tests {
         m.record_spawn();
         m.record_spawn();
         m.record_inline();
+        m.record_steal();
         m.record_work(100);
         assert_eq!(m.spawned(), 2);
         assert_eq!(m.inlined(), 1);
+        assert_eq!(m.steals(), 1);
         assert_eq!(m.work(), 100);
         let snap = m.snapshot();
         assert_eq!(
@@ -141,6 +170,7 @@ mod tests {
             MetricsSnapshot {
                 spawned: 2,
                 inlined: 1,
+                steals: 1,
                 work: 100
             }
         );

@@ -7,13 +7,25 @@
 //! time is still *available* to any processor that frees up later, so the `p`
 //! processors end up owning one subtree each of size `n / b^{log_a p}`
 //! (Figure 2).  On real hardware the standard way to obtain exactly that
-//! behaviour is a bounded work-stealing pool: pending tasks stay in per-worker
-//! deques and idle processors take the *oldest* (largest) pending task first.
-//! `PalPool` therefore wraps a [`rayon`] thread pool configured with exactly
-//! `p` worker threads; the from-scratch, step-accurate implementation of the
-//! paper's own activation rule lives in the `lopram-sim` crate, and the
-//! eagerly-scheduled [`ThrottledPool`](crate::runtime::ThrottledPool) is kept
-//! as an ablation.
+//! behaviour is a bounded work-stealing pool, and that is what backs this
+//! type: the workspace [`rayon`] runtime keeps exactly `p` persistent worker
+//! threads, one pending-task deque per worker, and has idle workers steal
+//! the **oldest** pending pal-thread first (creation order).  A forking
+//! worker pushes its second child as a *pending* task, runs the first child,
+//! and on return either pops the pending child back (it was never granted a
+//! processor: inline, as §3.1 prescribes) or — if the child migrated — helps
+//! with other pending work instead of parking.  No OS thread is ever spawned
+//! per fork.
+//!
+//! The runtime reports every spawn-vs-inline decision and every migration
+//! through [`PalPool::metrics`] ([`RunMetrics`]): `spawned`/`steals` count
+//! pal-threads picked up by a processor that freed up after their creation,
+//! `inlined` counts pal-threads folded into their parent.  This makes the
+//! recursion cutoff depth `log_a p` of Figure 2 observable on the real pool,
+//! not just on the step-accurate `lopram-sim` simulator.  The
+//! eagerly-scheduled [`ThrottledPool`](crate::runtime::ThrottledPool), which
+//! deliberately lacks the migration rule, is kept as the experiment-E12
+//! ablation.
 
 use std::ops::Range;
 
@@ -37,6 +49,9 @@ pub struct PalPool {
     processors: usize,
     pool: rayon::ThreadPool,
     metrics: RunMetrics,
+    /// Last pool-level counters already folded into `metrics`, so repeated
+    /// [`metrics`](PalPool::metrics) calls only add the delta.
+    synced: Mutex<rayon::PoolStats>,
 }
 
 impl PalPool {
@@ -56,6 +71,7 @@ impl PalPool {
             processors: p,
             pool,
             metrics: RunMetrics::new(),
+            synced: Mutex::new(rayon::PoolStats::default()),
         })
     }
 
@@ -87,18 +103,55 @@ impl PalPool {
         self.processors
     }
 
-    /// Pal-thread creation counters for this pool.
+    /// Scheduling counters for this pool.
+    ///
+    /// `spawned`/`steals` count pal-threads that migrated to a processor
+    /// which freed up after their creation; `inlined` counts pal-threads
+    /// popped back and executed by their creator.  The counters are pulled
+    /// from the work-stealing runtime on every call, so they reflect all
+    /// joins and scopes completed so far.
     pub fn metrics(&self) -> &RunMetrics {
+        self.sync_metrics();
         &self.metrics
+    }
+
+    /// Fold the runtime's stolen/inlined/injected counters into
+    /// `self.metrics`, adding only what accumulated since the previous sync.
+    ///
+    /// Attribution: a stolen fork was granted a processor *and* migrated
+    /// (`spawned` + `steals`); a pal-thread injected from outside the pool
+    /// always runs on a pool processor (`spawned`) but never migrated
+    /// between processors — its creator was not one — so it does not count
+    /// as a steal; an inlined fork is `inlined`.
+    fn sync_metrics(&self) {
+        use std::sync::atomic::Ordering;
+        // Read the stats *after* taking the lock: two concurrent syncs
+        // reading before locking could otherwise see each other's newer
+        // baseline and underflow the delta.
+        let mut last = self.synced.lock();
+        let now = self.pool.stats();
+        let stolen = now.stolen - last.stolen;
+        let inlined = now.inlined - last.inlined;
+        let injected = now.injected - last.injected;
+        *last = now;
+        drop(last);
+        self.metrics
+            .spawned
+            .fetch_add(stolen + injected, Ordering::Relaxed);
+        self.metrics.steals.fetch_add(stolen, Ordering::Relaxed);
+        self.metrics.inlined.fetch_add(inlined, Ordering::Relaxed);
     }
 
     /// Run two pal-threads and wait for both — the `palthreads { a(); b(); }`
     /// construct of the paper's mergesort example (§3.1).
     ///
-    /// `a` is executed by the calling processor; `b` is executed by another
-    /// processor if one becomes available before the caller gets to it, and
-    /// by the caller otherwise.  Panics in either child propagate to the
-    /// caller.
+    /// `b` is created as a *pending* pal-thread while `a` runs; it is
+    /// executed by whichever processor gets to it first — an idle processor
+    /// that steals it, or `a`'s processor inline after `a` — so the
+    /// spawn-vs-inline decision is made at activation time, not creation
+    /// time.  Called from outside the pool, both children run on pool
+    /// workers and the caller blocks.  Panics in either child propagate to
+    /// the caller.
     pub fn join<RA, RB>(
         &self,
         a: impl FnOnce() -> RA + Send,
@@ -108,7 +161,6 @@ impl PalPool {
         RA: Send,
         RB: Send,
     {
-        self.metrics.record_spawn();
         self.pool.join(a, b)
     }
 
@@ -125,7 +177,6 @@ impl PalPool {
         self.pool.in_place_scope(|s| {
             let pal = PalScope {
                 scope: s,
-                metrics: &self.metrics,
                 processors: self.processors,
             };
             f(&pal)
@@ -215,21 +266,26 @@ impl PalPool {
 /// A scope in which pal-threads can be spawned; see [`PalPool::scope`].
 pub struct PalScope<'scope, 'env: 'scope> {
     scope: &'scope rayon::Scope<'env>,
-    metrics: &'scope RunMetrics,
     processors: usize,
 }
 
 impl<'scope, 'env> PalScope<'scope, 'env> {
     /// Create a pal-thread running `f`.
     ///
-    /// The pal-thread is placed in the pending set and executed as soon as a
-    /// processor is available; pending pal-threads are picked up in an order
-    /// consistent with creation order, as §3.1 prescribes.
+    /// The pal-thread is placed in the pending set (a worker deque or the
+    /// pool's injector) and executed as soon as a processor is available.
+    /// An *idle* processor picks up pending pal-threads oldest-first — the
+    /// order-consistent-with-creation rule of §3.1 — while a creator
+    /// draining its own remaining spawns takes the newest first (the
+    /// standard work-stealing LIFO fast path; the literal creation-order
+    /// rule for that case lives in the `lopram-sim` crate).  Whether the
+    /// pal-thread counted as `spawned` (ran on another processor) or
+    /// `inlined` (executed by its creator) is recorded by the runtime at
+    /// activation time and visible through [`PalPool::metrics`].
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce() + Send + 'env,
     {
-        self.metrics.record_spawn();
         self.scope.spawn(move |_| f());
     }
 
@@ -406,15 +462,52 @@ mod tests {
     }
 
     #[test]
-    fn metrics_count_pal_thread_creations() {
+    fn metrics_account_for_every_pal_thread() {
+        // One join fork + two scope spawns = three pal-threads; each one is
+        // either granted its own processor (spawned/stolen) or folded into
+        // its creator (inlined) — never lost, never double-counted.
         let pool = PalPool::new(2).unwrap();
-        let before = pool.metrics().spawned();
+        let before = {
+            let m = pool.metrics();
+            m.spawned() + m.inlined()
+        };
         pool.join(|| (), || ());
         pool.scope(|s| {
             s.spawn(|| ());
             s.spawn(|| ());
         });
-        assert_eq!(pool.metrics().spawned(), before + 3);
+        let m = pool.metrics();
+        assert_eq!(m.spawned() + m.inlined(), before + 3);
+        // A pal-thread is spawned by migrating (a steal) or by being
+        // injected from outside the pool; it can never have more steals
+        // than spawns.
+        assert!(m.steals() <= m.spawned());
+    }
+
+    #[test]
+    fn single_processor_pool_inlines_every_fork() {
+        let pool = PalPool::new(1).unwrap();
+        pool.join(|| (), || ());
+        pool.join(|| (), || ());
+        let m = pool.metrics();
+        assert_eq!(m.steals(), 0, "one worker has no one to steal from");
+        assert_eq!(m.inlined(), 2);
+    }
+
+    #[test]
+    fn single_processor_scope_records_no_steals() {
+        // Scope pal-threads created outside the pool are injected, not
+        // stolen: with one worker there is no migration to report, even
+        // though the tasks do run on a pool processor (spawned).
+        let pool = PalPool::new(1).unwrap();
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| ());
+            }
+        });
+        let m = pool.metrics();
+        assert_eq!(m.steals(), 0, "a one-processor pool cannot migrate work");
+        assert_eq!(m.spawned(), 8, "injected pal-threads ran on the pool");
     }
 
     #[test]

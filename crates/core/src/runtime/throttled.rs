@@ -2,16 +2,24 @@
 //!
 //! This is the simplest possible realisation of the pal-thread creation rule:
 //! when a pal-thread is created it either receives a free processor
-//! immediately or is executed inline by its parent, and the decision is never
+//! immediately (an OS thread is spawned for it, holding one processor token)
+//! or it is executed inline by its parent, and the decision is never
 //! revisited.  Because there is no pending queue, a processor that frees up
 //! later cannot pick up a child that was already committed to inline
 //! execution, which skews work towards the first spawned subtrees (for binary
-//! divide-and-conquer one `n/2` subtree ends up sequential).  The default
-//! [`PalPool`](crate::PalPool) keeps pending pal-threads available to idle
-//! processors (work stealing) and is the executor used by the algorithm
-//! crates; `ThrottledPool` is retained as the ablation the experiment harness
-//! uses to quantify how much the paper's "pending pal-threads are activated
-//! … as resources become available" rule actually buys (experiment E12).
+//! divide-and-conquer one `n/2` subtree ends up sequential), and the
+//! [`steals`](crate::metrics::RunMetrics::steals) counter is always zero.
+//!
+//! The default [`PalPool`](crate::PalPool) differs on exactly this point:
+//! its forks stay *pending* in per-worker deques until a processor actually
+//! takes them, so a processor that frees up later steals the oldest pending
+//! pal-thread (§3.1's activation rule).  `ThrottledPool` is retained as the
+//! ablation the experiment harness uses to quantify how much that rule
+//! actually buys (experiment E12, `table_scheduler_ablation`): on an
+//! unbalanced divide-and-conquer tree the two schedulers diverge sharply —
+//! `PalPool` keeps migrating the heavy pending subtree to whichever
+//! processor frees up, while `ThrottledPool` spawns once and then runs the
+//! rest of the chain sequentially.
 
 use std::ops::Range;
 use std::sync::Arc;
@@ -349,6 +357,22 @@ mod tests {
         assert_eq!(*order.lock(), vec!['a', 'b']);
         assert_eq!(pool.metrics().spawned(), 0);
         assert_eq!(pool.metrics().inlined(), 1);
+    }
+
+    #[test]
+    fn eager_scheduler_never_steals() {
+        // The defining gap to PalPool: no pending queue, so no migrations —
+        // the E12 ablation hinges on this staying zero.
+        fn recurse(pool: &ThrottledPool, depth: usize) {
+            if depth == 0 {
+                return;
+            }
+            pool.join(|| recurse(pool, depth - 1), || recurse(pool, depth - 1));
+        }
+        let pool = ThrottledPool::new(4).unwrap();
+        recurse(&pool, 6);
+        assert_eq!(pool.metrics().steals(), 0);
+        assert!(pool.metrics().spawned() + pool.metrics().inlined() > 0);
     }
 
     #[test]

@@ -1,5 +1,12 @@
-//! Processor tokens: the bounded-degree admission control of the pal-thread
-//! scheduler.
+//! Processor tokens: the bounded-degree admission control of the *eager*
+//! pal-thread scheduler.
+//!
+//! Only the [`ThrottledPool`](crate::ThrottledPool) ablation uses these
+//! tokens (spawn-or-inline decided once, at creation).  The default
+//! [`PalPool`](crate::PalPool) does not: its admission control is the
+//! work-stealing runtime itself — `p` persistent workers, so at most `p`
+//! pal-threads execute concurrently, with pending forks queued rather than
+//! folded away.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;

@@ -1,0 +1,160 @@
+//! Stress tests shaking out races in the work-stealing pal-thread runtime.
+//!
+//! Each test loops `LOPRAM_TEST_REPEAT` times (default 100) so the CI
+//! `runtime-stress` job can crank the repetition up on the 1-CPU host,
+//! where thread interleavings are decided by preemption and are the
+//! nastiest kind of nondeterministic.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lopram_core::{PalPool, ThrottledPool};
+
+fn repeat(default: usize) -> usize {
+    std::env::var("LOPRAM_TEST_REPEAT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fib(pool: &PalPool, n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+    a + b
+}
+
+/// Nested joins under contention: many forks, deep recursion, every result
+/// must come back exact and the pool must stay consistent across runs.
+#[test]
+fn nested_join_stress() {
+    let pool = PalPool::new(4).unwrap();
+    for i in 0..repeat(100) {
+        assert_eq!(fib(&pool, 12), 144, "iteration {i}");
+    }
+    let m = pool.metrics();
+    // Every fork is accounted exactly once: fib(12) forks fib(n>=2) calls,
+    // i.e. 232 joins per iteration.
+    assert_eq!(m.spawned() + m.inlined(), 232 * repeat(100) as u64);
+}
+
+/// Scopes under contention: all spawned pal-threads run exactly once per
+/// iteration, including nested spawns from within tasks.
+#[test]
+fn scope_stress() {
+    let pool = PalPool::new(4).unwrap();
+    for i in 0..repeat(100) {
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..16 {
+                let counter = &counter;
+                s.spawn(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16, "iteration {i}");
+    }
+}
+
+/// Panic propagation under contention: a panicking child must unwind out of
+/// `join` no matter which processor ran it (stolen or inlined), and the
+/// pool must be fully usable afterwards — no lost workers, no stuck
+/// latches, no leaked pending tasks.
+#[test]
+fn panic_propagation_stress() {
+    let pool = PalPool::new(4).unwrap();
+    for i in 0..repeat(100) {
+        // Alternate which side panics so both the direct-execution path (a)
+        // and the pending-task path (b) are exercised.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if i % 2 == 0 {
+                pool.join(|| fib(&pool, 6), || -> u64 { panic!("child b failed") });
+            } else {
+                pool.join(|| -> u64 { panic!("child a failed") }, || fib(&pool, 6));
+            }
+        }));
+        assert!(result.is_err(), "iteration {i}: panic must propagate");
+        // The pool must keep working after every unwind.
+        assert_eq!(fib(&pool, 8), 21, "iteration {i}: pool usable after panic");
+    }
+}
+
+/// Panics inside scope tasks propagate from the scope entry point after all
+/// siblings ran, across many repetitions.
+#[test]
+fn scope_panic_stress() {
+    let pool = PalPool::new(2).unwrap();
+    for i in 0..repeat(100) {
+        let ran = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("task failed"));
+                let ran = &ran;
+                s.spawn(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        }));
+        assert!(result.is_err(), "iteration {i}");
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "iteration {i}: sibling ran");
+    }
+}
+
+/// `PalPool::metrics()` is safe to call from several observer threads while
+/// the pool is working: the delta-sync against the runtime's counters must
+/// serialize its baseline reads, or a racing observer computes a negative
+/// delta (a debug-build underflow panic, garbage counters in release).
+#[test]
+fn concurrent_metrics_reads_are_safe() {
+    let pool = PalPool::new(2).unwrap();
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                for _ in 0..repeat(100) {
+                    let m = pool.metrics();
+                    // Total accounting never exceeds what was created.
+                    assert!(m.steals() <= m.spawned());
+                }
+            });
+        }
+        for _ in 0..repeat(100) / 4 {
+            assert_eq!(fib(&pool, 8), 21);
+        }
+    });
+    let m = pool.metrics();
+    assert!(m.spawned() + m.inlined() > 0);
+}
+
+/// Both runtimes agree with the sequential result under repeated
+/// contention — §3.2's "the algorithm must execute properly for any value
+/// of p", exercised across scheduler implementations.
+#[test]
+fn schedulers_agree_under_stress() {
+    let data: Vec<u64> = (0..2048).collect();
+    let expected: u64 = data.iter().sum();
+
+    fn sum<E: lopram_core::Executor>(exec: &E, data: &[u64]) -> u64 {
+        if data.len() <= 16 {
+            return data.iter().sum();
+        }
+        let (lo, hi) = data.split_at(data.len() / 2);
+        let (a, b) = exec.join(|| sum(exec, lo), || sum(exec, hi));
+        a + b
+    }
+
+    let pal = PalPool::new(3).unwrap();
+    let throttled = ThrottledPool::new(3).unwrap();
+    for i in 0..repeat(100) {
+        assert_eq!(sum(&pal, &data), expected, "PalPool iteration {i}");
+        assert_eq!(
+            sum(&throttled, &data),
+            expected,
+            "ThrottledPool iteration {i}"
+        );
+    }
+    // And the ablation gap is structural, not incidental: the eager
+    // scheduler never migrated anything.
+    assert_eq!(throttled.metrics().steals(), 0);
+}

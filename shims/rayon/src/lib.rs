@@ -1,105 +1,525 @@
 //! Minimal, API-compatible shim for the subset of [`rayon`] this workspace
-//! uses: [`ThreadPool`] (via [`ThreadPoolBuilder`]) with [`ThreadPool::join`],
+//! uses — [`ThreadPool`] (via [`ThreadPoolBuilder`]) with [`ThreadPool::join`],
 //! [`ThreadPool::install`] and [`ThreadPool::in_place_scope`], plus the free
-//! [`join`] function.
+//! [`join`] function — implemented as a genuine bounded **work-stealing**
+//! runtime (the build container has no network access, so the real crate
+//! cannot be fetched).
 //!
-//! The build container has no network access, so the real crate cannot be
-//! fetched.  Instead of a work-stealing deque runtime, this shim bounds
-//! parallelism with a counting semaphore of `p − 1` "extra processor" permits
-//! (the calling thread is the remaining processor): a forked task runs on a
-//! fresh OS thread when a permit is free and inline in its parent otherwise.
-//! That preserves the properties the workspace relies on —
+//! # Scheduling rule
 //!
-//! * at most `num_threads` tasks of a pool execute concurrently,
+//! A pool owns exactly `num_threads` persistent worker threads, created once
+//! at [`ThreadPoolBuilder::build`] time and reused for every task (no OS
+//! thread is ever spawned per fork).  Each worker owns a deque of pending
+//! tasks (a plain `Mutex<VecDeque<_>>` — std-only, no lock-free dependency),
+//! and the pool keeps one shared injector queue for work arriving from
+//! threads outside the pool:
+//!
+//! * **fork** — `join(a, b)` on a worker pushes `b` onto the *newest* end of
+//!   the worker's own deque as a *pending* task and runs `a` directly.  The
+//!   pending task is not committed to anyone: it stays available until a
+//!   processor actually executes it.
+//! * **steal** — an idle worker takes the *oldest* pending task first: the
+//!   front of the injector, then the front of another worker's deque.  This
+//!   is the LoPRAM §3.1 rule that pending pal-threads are activated "in a
+//!   manner consistent with order of creation as resources become
+//!   available".
+//! * **join, help-first** — when the forking worker finishes `a` it pops `b`
+//!   back from its own deque and runs it inline if no one has taken it; if
+//!   `b` was stolen, the worker does not park: it executes other pending
+//!   tasks while waiting for `b`'s completion latch (so a blocked parent is
+//!   still a useful processor).
+//!
+//! Calls from threads that are not pool workers (`install`, `join`, the end
+//! of `in_place_scope`) ship the work into the pool and block the calling
+//! thread; the `num_threads` workers are therefore the *only* processors,
+//! which is what lets `PalPool` in `lopram-core` model a LoPRAM with exactly
+//! `p` processors.
+//!
+//! The pool counts every completed task in [`PoolStats`]: `stolen` (taken
+//! from another worker's deque — the task migrated to a processor that
+//! freed up), `inlined` (popped back and executed by the thread that
+//! created it), and `injected` (shipped in from a non-worker thread, whose
+//! creator is not a processor, so neither label applies).  `lopram-core`
+//! forwards these to its `RunMetrics` so experiments can observe the
+//! paper's Figure 2 cutoff on the real pool.
+//!
+//! Guarantees relied on by the workspace:
+//!
+//! * at most `num_threads` tasks of a pool execute concurrently;
 //! * `join`/scopes block until every forked task finished, so borrowing the
-//!   enclosing stack is safe,
-//! * panics in forked tasks propagate to the forking caller,
+//!   enclosing stack is safe;
+//! * panics in forked tasks propagate to the forking caller;
 //! * a pool with one thread degenerates to sequential execution in creation
-//!   order —
-//!
-//! but tasks that were folded into their parent never migrate to a processor
-//! that frees up later, and one OS thread is spawned per forked task rather
-//! than reusing `p` workers.  Both are acceptable for the test/bench
-//! workloads here and can be revisited by swapping in the real crate.
+//!   order.
 //!
 //! [`rayon`]: https://docs.rs/rayon
 
 use std::any::Any;
-use std::cell::RefCell;
+use std::cell::{RefCell, UnsafeCell};
+use std::collections::VecDeque;
 use std::fmt;
 use std::marker::PhantomData;
 use std::mem;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread;
+use std::time::Duration;
 
-/// Non-blocking counting semaphore over "extra processor" permits.
-#[derive(Debug)]
-struct Tokens {
-    free: AtomicUsize,
+/// How long an idle worker (or a helping join waiter) sleeps before
+/// re-polling the deques when no wake-up notification arrives.  All sleeps
+/// are bounded by this, so a missed notification costs latency, never a
+/// deadlock.
+const IDLE_POLL: Duration = Duration::from_micros(500);
+
+/// Lock a mutex, ignoring poisoning (tasks catch their own panics, but be
+/// defensive: a poisoned queue is still a valid queue).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-impl Tokens {
-    fn new(extra: usize) -> Arc<Self> {
-        Arc::new(Tokens {
-            free: AtomicUsize::new(extra),
+// ---------------------------------------------------------------------------
+// Latch: one-shot completion flag a waiter can block on.
+// ---------------------------------------------------------------------------
+
+/// A one-shot completion latch (mutex + condvar; no busy spin for external
+/// waiters).
+#[derive(Default)]
+struct Latch {
+    done: Mutex<bool>,
+    cvar: Condvar,
+}
+
+impl Latch {
+    fn probe(&self) -> bool {
+        *lock(&self.done)
+    }
+
+    /// Set the latch.  This must be the setter's final access to any memory
+    /// owned by the waiter: once the waiter observes `done`, it may pop the
+    /// stack frame holding the job.
+    fn set(&self) {
+        *lock(&self.done) = true;
+        self.cvar.notify_all();
+    }
+
+    /// Block until the latch is set (used by non-worker threads, which must
+    /// not execute pool work).
+    fn wait(&self) {
+        let mut guard = lock(&self.done);
+        while !*guard {
+            guard = self
+                .cvar
+                .wait(guard)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Block until the latch is set or `dur` elapses (used by helping
+    /// workers, which must also keep an eye on the deques).
+    fn wait_timeout(&self, dur: Duration) {
+        let guard = lock(&self.done);
+        if !*guard {
+            let _ = self
+                .cvar
+                .wait_timeout(guard, dur)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Jobs: type-erased pending tasks living in the deques.
+// ---------------------------------------------------------------------------
+
+/// A type-erased pointer to a pending task.
+///
+/// `data` points either at a [`StackJob`] on the creator's stack (kept alive
+/// because the creator blocks until the job's latch is set) or at a leaked
+/// [`HeapJob`] box (reclaimed by `execute_heap`).
+struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+    /// Whether this job is a pal-thread for [`PoolStats`] accounting.
+    /// Internal wrappers (e.g. the `install` trampoline) are not counted.
+    counted: bool,
+}
+
+// SAFETY: a JobRef is only ever executed once, and the pointed-to job is
+// kept alive until its completion latch is set (StackJob) or owns itself
+// (HeapJob).  The closures inside are `Send` by the public API bounds.
+#[allow(unsafe_code)]
+unsafe impl Send for JobRef {}
+
+/// A fork/join or `install` task whose closure and result slot live on the
+/// creating thread's stack.  The creator never returns before the latch is
+/// set, so the raw pointer handed out via [`StackJob::as_job_ref`] stays
+/// valid for the job's whole life.
+struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<thread::Result<R>>>,
+    latch: Arc<Latch>,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R,
+{
+    fn new(func: F, latch: Arc<Latch>) -> Self {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            latch,
+        }
+    }
+
+    fn as_job_ref(&self, counted: bool) -> JobRef {
+        JobRef {
+            data: (self as *const Self).cast::<()>(),
+            execute_fn: execute_stack::<F, R>,
+            counted,
+        }
+    }
+
+    /// Take the result after the latch has been set (or after executing the
+    /// job on this very thread).
+    ///
+    /// # Safety
+    /// Must only be called once, after the job ran to completion; the latch
+    /// mutex provides the necessary happens-before edge.
+    #[allow(unsafe_code)]
+    unsafe fn take_result(&self) -> thread::Result<R> {
+        (*self.result.get())
+            .take()
+            .expect("job executed exactly once")
+    }
+}
+
+/// Execute a [`StackJob`].  Clones the latch out of the job first so that
+/// setting it is the executor's last touch of the creator's stack memory.
+#[allow(unsafe_code)]
+unsafe fn execute_stack<F, R>(data: *const ())
+where
+    F: FnOnce() -> R,
+{
+    let job = &*data.cast::<StackJob<F, R>>();
+    let latch = Arc::clone(&job.latch);
+    let func = (*job.func.get()).take().expect("job executed exactly once");
+    let result = catch_unwind(AssertUnwindSafe(func));
+    *job.result.get() = Some(result);
+    // After `set` the creator may deallocate the job; touch nothing of it.
+    latch.set();
+}
+
+/// A scope task: boxed closure plus the shared scope state it reports to.
+struct HeapJob {
+    task: Box<dyn FnOnce(&Scope<'static>) + Send>,
+    state: Arc<ScopeState>,
+}
+
+/// Execute (and reclaim) a leaked [`HeapJob`].
+#[allow(unsafe_code)]
+unsafe fn execute_heap(data: *const ()) {
+    let job = Box::from_raw(data.cast::<HeapJob>().cast_mut());
+    let state = Arc::clone(&job.state);
+    let task = job.task;
+    let scope = Scope::<'static> {
+        state: Arc::clone(&state),
+        _marker: PhantomData,
+    };
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(move || task(&scope))) {
+        state.stash_panic(payload);
+    }
+    state.task_finished();
+}
+
+// ---------------------------------------------------------------------------
+// Registry: the shared state of one pool — deques, injector, workers.
+// ---------------------------------------------------------------------------
+
+/// Where a pending task was taken from, deciding its [`PoolStats`]
+/// attribution.
+#[derive(Clone, Copy)]
+enum TaskSource {
+    /// Popped back off the executing worker's own deque: the fork was never
+    /// taken by anyone else and runs inline in its creator.
+    Own,
+    /// Taken from another worker's deque: a genuine steal — the task
+    /// migrated to a processor that freed up after its creation.
+    Theft,
+    /// Taken from the shared injector: work shipped into the pool by a
+    /// non-worker thread.  The creator is not a processor, so this is
+    /// neither an inline execution nor a worker-to-worker migration.
+    Injector,
+}
+
+struct Registry {
+    threads: usize,
+    /// One pending-task deque per worker.  The owner pushes and pops at the
+    /// back (newest); thieves take from the front (oldest first).
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    /// Work arriving from threads outside the pool; drained oldest-first.
+    injector: Mutex<VecDeque<JobRef>>,
+    idle_lock: Mutex<()>,
+    idle_cvar: Condvar,
+    terminate: AtomicBool,
+    /// Tasks stolen from another worker's deque (migrations).
+    stolen: AtomicU64,
+    /// Tasks popped back and executed by the thread that created them.
+    inlined: AtomicU64,
+    /// Tasks taken from the injector (created outside the pool).
+    injected: AtomicU64,
+}
+
+thread_local! {
+    /// The registry this thread serves as a worker of, if any.
+    static WORKER: RefCell<Option<(Arc<Registry>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Index of the current thread within `registry`, if it is one of its
+/// workers.
+fn current_worker_in(registry: &Arc<Registry>) -> Option<usize> {
+    WORKER.with(|w| {
+        w.borrow()
+            .as_ref()
+            .and_then(|(r, i)| Arc::ptr_eq(r, registry).then_some(*i))
+    })
+}
+
+impl Registry {
+    fn new(threads: usize) -> Arc<Self> {
+        Arc::new(Registry {
+            threads,
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            idle_lock: Mutex::new(()),
+            idle_cvar: Condvar::new(),
+            terminate: AtomicBool::new(false),
+            stolen: AtomicU64::new(0),
+            inlined: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
         })
     }
 
-    fn try_acquire(self: &Arc<Self>) -> Option<Permit> {
-        let mut cur = self.free.load(Ordering::Acquire);
-        loop {
-            if cur == 0 {
-                return None;
+    /// Spawn the persistent workers.  Returns their handles so the owning
+    /// [`ThreadPool`] can join them on drop (the global pool leaks its
+    /// workers instead, like the real crate).
+    fn spawn_workers(
+        self: &Arc<Self>,
+        mut name_fn: Box<dyn FnMut(usize) -> String>,
+    ) -> Vec<thread::JoinHandle<()>> {
+        (0..self.threads)
+            .map(|index| {
+                let registry = Arc::clone(self);
+                thread::Builder::new()
+                    .name(name_fn(index))
+                    .spawn(move || worker_main(registry, index))
+                    .expect("failed to spawn pool worker thread")
+            })
+            .collect()
+    }
+
+    fn notify(&self) {
+        // Waiters only ever sleep with a bounded timeout, so notifying
+        // without holding `idle_lock` can at worst delay them by IDLE_POLL.
+        self.idle_cvar.notify_all();
+    }
+
+    fn push_local(&self, index: usize, job: JobRef) {
+        lock(&self.deques[index]).push_back(job);
+        self.notify();
+    }
+
+    fn inject(&self, job: JobRef) {
+        lock(&self.injector).push_back(job);
+        self.notify();
+    }
+
+    /// Take one pending task.  Priority: own deque back (newest — the
+    /// cache-warm fast path for popping one's own fork back), then the
+    /// injector front, then the other workers' fronts — i.e. thieves always
+    /// take the **oldest** pending task of a victim first.
+    ///
+    /// Returns the job and where it came from, which decides its
+    /// [`PoolStats`] attribution.
+    fn find_job(&self, index: usize) -> Option<(JobRef, TaskSource)> {
+        if let Some(job) = lock(&self.deques[index]).pop_back() {
+            return Some((job, TaskSource::Own));
+        }
+        if let Some(job) = lock(&self.injector).pop_front() {
+            return Some((job, TaskSource::Injector));
+        }
+        for offset in 1..self.threads {
+            let victim = (index + offset) % self.threads;
+            if let Some(job) = lock(&self.deques[victim]).pop_front() {
+                return Some((job, TaskSource::Theft));
             }
-            match self
-                .free
-                .compare_exchange_weak(cur, cur - 1, Ordering::AcqRel, Ordering::Acquire)
-            {
-                Ok(_) => {
-                    return Some(Permit {
-                        tokens: Arc::clone(self),
-                    })
-                }
-                Err(seen) => cur = seen,
+        }
+        None
+    }
+
+    /// Pop the job at `data` back off this worker's own deque, if it is
+    /// still there (i.e. no other processor took it in the meantime).
+    ///
+    /// Only the owner pushes to its deque, and it only pushes jobs whose
+    /// stack frames are still live, so a back-of-deque pointer match is an
+    /// identity match.
+    fn pop_local_if(&self, index: usize, data: *const ()) -> Option<JobRef> {
+        let mut deque = lock(&self.deques[index]);
+        if deque.back().is_some_and(|job| std::ptr::eq(job.data, data)) {
+            deque.pop_back()
+        } else {
+            None
+        }
+    }
+
+    /// Execute a job, attributing it in the pool statistics.
+    ///
+    /// Never unwinds: every job type catches its own panic and reports it
+    /// through its latch or scope, so helping loops survive task failures.
+    #[allow(unsafe_code)]
+    fn execute(&self, job: JobRef, source: TaskSource) {
+        if job.counted {
+            let counter = match source {
+                TaskSource::Own => &self.inlined,
+                TaskSource::Theft => &self.stolen,
+                TaskSource::Injector => &self.injected,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { (job.execute_fn)(job.data) }
+    }
+
+    /// Help-first wait: execute pending tasks until `latch` is set.  This is
+    /// what a worker blocked on a stolen fork does instead of parking.
+    fn wait_help(&self, index: usize, latch: &Latch) {
+        loop {
+            if latch.probe() {
+                return;
+            }
+            match self.find_job(index) {
+                Some((job, source)) => self.execute(job, source),
+                None => latch.wait_timeout(IDLE_POLL),
             }
         }
     }
 }
 
-/// RAII permit for one extra processor; released on drop (including panic).
-#[derive(Debug)]
-struct Permit {
-    tokens: Arc<Tokens>,
-}
-
-impl Drop for Permit {
-    fn drop(&mut self) {
-        self.tokens.free.fetch_add(1, Ordering::AcqRel);
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    WORKER.with(|w| *w.borrow_mut() = Some((Arc::clone(&registry), index)));
+    while !registry.terminate.load(Ordering::Acquire) {
+        match registry.find_job(index) {
+            Some((job, source)) => registry.execute(job, source),
+            None => {
+                let guard = lock(&registry.idle_lock);
+                let _ = registry
+                    .idle_cvar
+                    .wait_timeout(guard, IDLE_POLL)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        }
     }
 }
 
-thread_local! {
-    /// The token pool `install`ed on (or inherited by) the current thread.
-    static CURRENT: RefCell<Option<Arc<Tokens>>> = const { RefCell::new(None) };
-}
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
 
-/// Restores the previous thread-local token pool on drop.
-struct CurrentReset {
-    prev: Option<Arc<Tokens>>,
-}
+/// The worker-side join: fork `b` as a pending task, run `a`, then take `b`
+/// back (inline) or help until the thief finishes it.
+fn join_worker<A, B, RA, RB>(
+    registry: &Arc<Registry>,
+    index: usize,
+    oper_a: A,
+    oper_b: B,
+) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let latch = Arc::new(Latch::default());
+    let job_b = StackJob::new(oper_b, Arc::clone(&latch));
+    let job_ref = job_b.as_job_ref(true);
+    let data = job_ref.data;
+    registry.push_local(index, job_ref);
 
-impl Drop for CurrentReset {
-    fn drop(&mut self) {
-        let prev = self.prev.take();
-        CURRENT.with(|c| *c.borrow_mut() = prev);
+    let result_a = catch_unwind(AssertUnwindSafe(oper_a));
+
+    match registry.pop_local_if(index, data) {
+        // Nobody freed up in time: the creating processor runs b itself.
+        Some(job) => registry.execute(job, TaskSource::Own),
+        // b migrated to (or is executing on) another processor: help with
+        // other pending work until it completes.  Even if `a` panicked we
+        // must wait — b may borrow the enclosing stack.
+        None => registry.wait_help(index, &latch),
+    }
+
+    // SAFETY: b has run to completion on some thread (inline above, or latch
+    // observed set), and the latch mutex orders its result write before us.
+    #[allow(unsafe_code)]
+    let result_b = unsafe { job_b.take_result() };
+
+    match (result_a, result_b) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) => resume_unwind(payload),
+        (_, Err(payload)) => resume_unwind(payload),
     }
 }
 
-fn set_current(tokens: Arc<Tokens>) -> CurrentReset {
-    CURRENT.with(|c| CurrentReset {
-        prev: c.borrow_mut().replace(tokens),
+/// Ship `op` into the pool and block until it completes, or run it directly
+/// when the calling thread already is a worker of this pool.
+fn install_in<OP, R>(registry: &Arc<Registry>, op: OP) -> R
+where
+    OP: FnOnce() -> R + Send,
+    R: Send,
+{
+    if current_worker_in(registry).is_some() {
+        return op();
+    }
+    let latch = Arc::new(Latch::default());
+    let job = StackJob::new(op, Arc::clone(&latch));
+    // The trampoline itself is not a pal-thread; don't count it.
+    registry.inject(job.as_job_ref(false));
+    // Non-workers are not processors: park instead of stealing.
+    latch.wait();
+    // SAFETY: latch set ⇒ the job ran and wrote its result.
+    #[allow(unsafe_code)]
+    match unsafe { job.take_result() } {
+        Ok(result) => result,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+fn join_in<A, B, RA, RB>(registry: &Arc<Registry>, oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match current_worker_in(registry) {
+        Some(index) => join_worker(registry, index, oper_a, oper_b),
+        None => install_in(registry, move || {
+            let index =
+                current_worker_in(registry).expect("install trampoline runs on a pool worker");
+            join_worker(registry, index, oper_a, oper_b)
+        }),
+    }
+}
+
+/// The global registry backing the free [`join`] when called outside any
+/// pool, sized to the host's parallelism like rayon's global pool.  Its
+/// workers are leaked (never joined), again like the real crate.
+fn global_registry() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let registry = Registry::new(default_parallelism());
+        drop(registry.spawn_workers(Box::new(|i| format!("rayon-global-{i}"))));
+        registry
     })
 }
 
@@ -107,52 +527,11 @@ fn default_parallelism() -> usize {
     thread::available_parallelism().map_or(1, usize::from)
 }
 
-/// Token pool used by the free [`join`] outside any [`ThreadPool::install`]:
-/// sized to the host's parallelism, like rayon's global pool.
-fn global_tokens() -> Arc<Tokens> {
-    static GLOBAL: OnceLock<Arc<Tokens>> = OnceLock::new();
-    Arc::clone(GLOBAL.get_or_init(|| Tokens::new(default_parallelism().saturating_sub(1))))
-}
-
-fn current_tokens() -> Arc<Tokens> {
-    CURRENT
-        .with(|c| c.borrow().clone())
-        .unwrap_or_else(global_tokens)
-}
-
-/// Run `a` on the calling thread; run `b` on an extra processor if one is
-/// free and inline (after `a`) otherwise.  Returns when both are done.
-fn join_with<A, B, RA, RB>(tokens: &Arc<Tokens>, a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA + Send,
-    B: FnOnce() -> RB + Send,
-    RA: Send,
-    RB: Send,
-{
-    if let Some(permit) = tokens.try_acquire() {
-        let child_tokens = Arc::clone(tokens);
-        thread::scope(|s| {
-            let handle = s.spawn(move || {
-                let _permit = permit;
-                let _reset = set_current(child_tokens);
-                b()
-            });
-            let ra = a();
-            match handle.join() {
-                Ok(rb) => (ra, rb),
-                Err(payload) => resume_unwind(payload),
-            }
-        })
-    } else {
-        (a(), b())
-    }
-}
-
 /// Execute `oper_a` and `oper_b`, potentially in parallel, and return both
 /// results — the shim of `rayon::join`.
 ///
-/// Uses the pool `install`ed on the current thread, or a host-sized global
-/// pool otherwise.
+/// On a pool worker thread this forks within that worker's pool; elsewhere
+/// it uses a host-sized global pool.
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -160,22 +539,59 @@ where
     RA: Send,
     RB: Send,
 {
-    join_with(&current_tokens(), oper_a, oper_b)
+    let current = WORKER.with(|w| w.borrow().clone());
+    match current {
+        Some((registry, index)) => join_worker(&registry, index, oper_a, oper_b),
+        None => join_in(global_registry(), oper_a, oper_b),
+    }
 }
 
-/// A bounded fork/join pool — the shim of `rayon::ThreadPool`.
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+/// Scheduling counters of a [`ThreadPool`]; see [`ThreadPool::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pending tasks taken from another worker's deque — each is one
+    /// successful steal, i.e. one pal-thread that migrated to a processor
+    /// that freed up after the task's creation.
+    pub stolen: u64,
+    /// Pending tasks popped back and executed by the thread that created
+    /// them (the fork was never taken by anyone else).
+    pub inlined: u64,
+    /// Pending tasks taken from the shared injector: created by a
+    /// non-worker thread and executed by some pool worker.  Not a
+    /// migration (the creator was never a processor), so these are kept
+    /// apart from `stolen`.
+    pub injected: u64,
+}
+
+/// A bounded work-stealing fork/join pool — the shim of `rayon::ThreadPool`.
 pub struct ThreadPool {
-    threads: usize,
-    tokens: Arc<Tokens>,
+    registry: Arc<Registry>,
+    handles: Vec<thread::JoinHandle<()>>,
 }
 
 impl ThreadPool {
-    /// Number of threads this pool was built for.
+    /// Number of worker threads this pool was built with.
     pub fn current_num_threads(&self) -> usize {
-        self.threads
+        self.registry.threads
+    }
+
+    /// Snapshot of this pool's stolen/inlined/injected task counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            stolen: self.registry.stolen.load(Ordering::Relaxed),
+            inlined: self.registry.inlined.load(Ordering::Relaxed),
+            injected: self.registry.injected.load(Ordering::Relaxed),
+        }
     }
 
     /// Run two closures, potentially in parallel on this pool; see [`join`].
+    ///
+    /// Called from outside the pool this blocks the caller and runs both
+    /// closures on pool workers; called from a worker it forks in place.
     pub fn join<A, B, RA, RB>(&self, oper_a: A, oper_b: B) -> (RA, RB)
     where
         A: FnOnce() -> RA + Send,
@@ -183,34 +599,47 @@ impl ThreadPool {
         RA: Send,
         RB: Send,
     {
-        join_with(&self.tokens, oper_a, oper_b)
+        join_in(&self.registry, oper_a, oper_b)
     }
 
-    /// Run `op` with this pool as the current pool of the calling thread, so
-    /// nested calls to the free [`join`] are bounded by this pool.
+    /// Execute `op` within the pool: on a worker thread, with nested calls
+    /// to the free [`join`] bounded by this pool.  Blocks the caller until
+    /// `op` returns.
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R + Send,
         R: Send,
     {
-        let _reset = set_current(Arc::clone(&self.tokens));
-        op()
+        install_in(&self.registry, op)
     }
 
-    /// Open a scope on the calling thread in which tasks can be spawned; the
-    /// scope returns only after every spawned task has finished.
+    /// Open a scope on the calling thread in which tasks can be spawned
+    /// onto this pool; the scope returns only after every spawned task has
+    /// finished.
     pub fn in_place_scope<'scope, OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce(&Scope<'scope>) -> R,
     {
-        scope_with_tokens(Arc::clone(&self.tokens), op)
+        scope_in(Arc::clone(&self.registry), op)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Every public entry point waits for its tasks before returning, so
+        // the deques are empty here; workers exit within one IDLE_POLL.
+        self.registry.terminate.store(true, Ordering::Release);
+        self.registry.notify();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
 impl fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ThreadPool")
-            .field("threads", &self.threads)
+            .field("threads", &self.registry.threads)
             .finish_non_exhaustive()
     }
 }
@@ -219,6 +648,7 @@ impl fmt::Debug for ThreadPool {
 #[derive(Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
+    thread_name: Option<Box<dyn FnMut(usize) -> String>>,
 }
 
 impl ThreadPoolBuilder {
@@ -227,33 +657,37 @@ impl ThreadPoolBuilder {
         ThreadPoolBuilder::default()
     }
 
-    /// Use exactly `num_threads` threads (0 means the host's parallelism).
+    /// Use exactly `num_threads` worker threads (0 means the host's
+    /// parallelism).
     pub fn num_threads(mut self, num_threads: usize) -> Self {
         self.num_threads = num_threads;
         self
     }
 
-    /// Accepted for API compatibility; this shim spawns anonymous threads
-    /// per forked task, so the name function is not applied.
-    pub fn thread_name<F>(self, _name_fn: F) -> Self
+    /// Name the persistent worker threads (applied at build time; workers
+    /// are created once, not per fork).
+    pub fn thread_name<F>(mut self, name_fn: F) -> Self
     where
         F: FnMut(usize) -> String + 'static,
     {
+        self.thread_name = Some(Box::new(name_fn));
         self
     }
 
-    /// Build the pool.  Never fails in this shim; the `Result` mirrors the
-    /// real crate's signature.
+    /// Build the pool, spawning its persistent workers.  Never fails in
+    /// this shim; the `Result` mirrors the real crate's signature.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let threads = if self.num_threads == 0 {
             default_parallelism()
         } else {
             self.num_threads
         };
-        Ok(ThreadPool {
-            threads,
-            tokens: Tokens::new(threads - 1),
-        })
+        let name_fn = self
+            .thread_name
+            .unwrap_or_else(|| Box::new(|i| format!("rayon-worker-{i}")));
+        let registry = Registry::new(threads);
+        let handles = registry.spawn_workers(name_fn);
+        Ok(ThreadPool { registry, handles })
     }
 }
 
@@ -277,33 +711,28 @@ impl fmt::Display for ThreadPoolBuildError {
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// Shared state of one scope: its token pool, the OS threads it has forked,
-/// and the first panic payload observed in a spawned task.
+// ---------------------------------------------------------------------------
+// Scope
+// ---------------------------------------------------------------------------
+
+/// Shared state of one scope: the pool it spawns into, the count of
+/// unfinished tasks (plus one guard for the scope body), and the first panic
+/// observed in a spawned task.
 struct ScopeState {
-    tokens: Arc<Tokens>,
-    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+    registry: Arc<Registry>,
+    pending: AtomicUsize,
+    latch: Latch,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 impl ScopeState {
     fn stash_panic(&self, payload: Box<dyn Any + Send>) {
-        let mut slot = self.panic.lock().unwrap_or_else(|p| p.into_inner());
-        slot.get_or_insert(payload);
+        lock(&self.panic).get_or_insert(payload);
     }
 
-    /// Join every forked thread, including ones forked while joining.
-    fn join_all(&self) {
-        loop {
-            let handle = {
-                let mut handles = self.handles.lock().unwrap_or_else(|p| p.into_inner());
-                handles.pop()
-            };
-            match handle {
-                // Task panics are stashed via `stash_panic`, so `join`
-                // itself only fails if the runtime is already broken.
-                Some(h) => drop(h.join()),
-                None => break,
-            }
+    fn task_finished(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.latch.set();
         }
     }
 }
@@ -317,42 +746,38 @@ pub struct Scope<'scope> {
 }
 
 impl<'scope> Scope<'scope> {
-    /// Spawn a task: on a fresh OS thread if an extra processor permit is
-    /// free, inline (immediately, in creation order) otherwise.  The
-    /// enclosing scope waits for the task; a panic in the task propagates
-    /// from the scope entry point.
+    /// Spawn a pending task into the pool: onto this worker's own deque when
+    /// called from a pool worker, onto the shared injector otherwise.  The
+    /// task stays pending until a processor picks it up — idle processors
+    /// take pending tasks oldest-first, while a creator draining its own
+    /// leftovers at scope end takes the newest first (LIFO).  The enclosing
+    /// scope waits for it, and a panic in it propagates from the scope
+    /// entry point after all sibling tasks finished.
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce(&Scope<'scope>) + Send + 'scope,
     {
-        if let Some(permit) = self.state.tokens.try_acquire() {
-            let task: Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope> = Box::new(f);
-            // SAFETY: every spawned thread is joined in `scope_with_tokens`
-            // before the scope entry point returns (even when the scope body
-            // panics), so the task cannot outlive the `'scope` data it
-            // borrows.  `Scope<'scope>` and `Scope<'static>` differ only in
-            // a PhantomData lifetime and are layout-identical.
-            #[allow(unsafe_code)]
-            let task: Box<dyn FnOnce(&Scope<'static>) + Send + 'static> =
-                unsafe { mem::transmute(task) };
-            let state = Arc::clone(&self.state);
-            let handle = thread::spawn(move || {
-                let _permit = permit;
-                let _reset = set_current(Arc::clone(&state.tokens));
-                let scope = Scope::<'static> {
-                    state: Arc::clone(&state),
-                    _marker: PhantomData,
-                };
-                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(&scope))) {
-                    state.stash_panic(payload);
-                }
-            });
-            let mut handles = self.state.handles.lock().unwrap_or_else(|p| p.into_inner());
-            handles.push(handle);
-        } else if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(self))) {
-            // Inline like the thread path: defer the panic to the scope end
-            // so sibling tasks still run and threads are still joined.
-            self.state.stash_panic(payload);
+        self.state.pending.fetch_add(1, Ordering::AcqRel);
+        let task: Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope> = Box::new(f);
+        // SAFETY: the scope entry point waits for `pending` to reach zero
+        // before returning (even when the scope body panics), so the task
+        // cannot outlive the `'scope` data it borrows.  `Scope<'scope>` and
+        // `Scope<'static>` differ only in a PhantomData lifetime.
+        #[allow(unsafe_code)]
+        let task: Box<dyn FnOnce(&Scope<'static>) + Send + 'static> =
+            unsafe { mem::transmute(task) };
+        let job = Box::new(HeapJob {
+            task,
+            state: Arc::clone(&self.state),
+        });
+        let job_ref = JobRef {
+            data: (Box::into_raw(job) as *const HeapJob).cast::<()>(),
+            execute_fn: execute_heap,
+            counted: true,
+        };
+        match current_worker_in(&self.state.registry) {
+            Some(index) => self.state.registry.push_local(index, job_ref),
+            None => self.state.registry.inject(job_ref),
         }
     }
 }
@@ -363,32 +788,39 @@ impl fmt::Debug for Scope<'_> {
     }
 }
 
-fn scope_with_tokens<'scope, OP, R>(tokens: Arc<Tokens>, op: OP) -> R
+fn scope_in<'scope, OP, R>(registry: Arc<Registry>, op: OP) -> R
 where
     OP: FnOnce(&Scope<'scope>) -> R,
 {
+    let state = Arc::new(ScopeState {
+        registry,
+        // One guard for the scope body itself, so the latch cannot fire
+        // while the body is still spawning.
+        pending: AtomicUsize::new(1),
+        latch: Latch::default(),
+        panic: Mutex::new(None),
+    });
     let scope = Scope {
-        state: Arc::new(ScopeState {
-            tokens,
-            handles: Mutex::new(Vec::new()),
-            panic: Mutex::new(None),
-        }),
+        state: Arc::clone(&state),
         _marker: PhantomData,
     };
     let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
-    // Always join before unwinding: spawned tasks may borrow 'scope data.
-    scope.state.join_all();
-    let stashed = {
-        let mut slot = scope.state.panic.lock().unwrap_or_else(|p| p.into_inner());
-        slot.take()
-    };
+    // Body done (or unwound): release its guard, then wait for every
+    // spawned task — they may borrow 'scope data, so this must happen even
+    // when the body panicked.
+    state.task_finished();
+    match current_worker_in(&state.registry) {
+        Some(index) => state.registry.wait_help(index, &state.latch),
+        None => state.latch.wait(),
+    }
+    let stashed = lock(&state.panic).take();
     match result {
         Err(payload) => resume_unwind(payload),
-        Ok(r) => {
+        Ok(value) => {
             if let Some(payload) = stashed {
                 resume_unwind(payload);
             }
-            r
+            value
         }
     }
 }
@@ -396,7 +828,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::time::Instant;
 
     #[test]
     fn free_join_returns_both_results() {
@@ -422,10 +856,124 @@ mod tests {
     }
 
     #[test]
+    fn workers_are_created_once_and_reused() {
+        // The acceptance property for the runtime rewrite: many forks, yet
+        // every closure runs on one of the p persistent workers — no
+        // per-fork OS thread is ever spawned.
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let ids = Mutex::new(HashSet::new());
+        fn fanout(pool: &ThreadPool, depth: usize, ids: &Mutex<HashSet<thread::ThreadId>>) {
+            ids.lock().unwrap().insert(thread::current().id());
+            if depth == 0 {
+                return;
+            }
+            pool.join(
+                || fanout(pool, depth - 1, ids),
+                || fanout(pool, depth - 1, ids),
+            );
+        }
+        // Run entirely inside the pool so only worker threads are recorded
+        // (the external caller parks; it is not a processor).
+        pool.install(|| fanout(&pool, 7, &ids)); // 255 forks
+        let distinct = ids.lock().unwrap().len();
+        assert!(
+            distinct <= 3,
+            "{distinct} distinct threads executed tasks of a 3-worker pool"
+        );
+    }
+
+    #[test]
+    fn worker_threads_carry_the_builder_name() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(2)
+            .thread_name(|i| format!("shim-test-{i}"))
+            .build()
+            .unwrap();
+        let name = pool.install(|| thread::current().name().map(str::to_owned));
+        assert!(name.unwrap().starts_with("shim-test-"));
+    }
+
+    #[test]
+    fn idle_worker_steals_pending_fork() {
+        // p = 2: the forking worker blocks inside `a` until the other worker
+        // has stolen and executed the pending `b` — the migration property.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let released = AtomicBool::new(false);
+        pool.join(
+            || {
+                let start = Instant::now();
+                while !released.load(Ordering::Acquire) {
+                    assert!(
+                        start.elapsed() < Duration::from_secs(10),
+                        "pending fork was never stolen by the idle worker"
+                    );
+                    thread::sleep(Duration::from_millis(1));
+                }
+            },
+            || released.store(true, Ordering::Release),
+        );
+        assert!(pool.stats().stolen >= 1);
+    }
+
+    #[test]
+    fn stats_split_between_stolen_and_inlined() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.join(|| (), || ());
+        pool.join(|| (), || ());
+        let stats = pool.stats();
+        // One worker: forks are always popped back by their creator.
+        assert_eq!(
+            stats,
+            PoolStats {
+                stolen: 0,
+                inlined: 2,
+                injected: 0
+            }
+        );
+    }
+
+    #[test]
+    fn external_scope_spawns_count_as_injected_not_stolen() {
+        // Regression: a one-worker pool cannot migrate anything, so scope
+        // tasks shipped in from the outside must not be attributed as
+        // steals (they are `injected`: their creator is not a processor).
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let counter = AtomicUsize::new(0);
+        pool.in_place_scope(|s| {
+            for _ in 0..8 {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        let stats = pool.stats();
+        assert_eq!(
+            stats,
+            PoolStats {
+                stolen: 0,
+                inlined: 0,
+                injected: 8
+            }
+        );
+    }
+
+    #[test]
     fn pool_join_propagates_child_panic_and_stays_usable() {
         let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
         let result = catch_unwind(AssertUnwindSafe(|| {
             pool.join(|| 1, || -> i32 { panic!("boom") });
+        }));
+        assert!(result.is_err());
+        assert_eq!(pool.join(|| 1, || 2), (1, 2));
+    }
+
+    #[test]
+    fn pool_join_propagates_panic_from_first_closure() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.join(|| -> i32 { panic!("boom a") }, || 2);
         }));
         assert!(result.is_err());
         assert_eq!(pool.join(|| 1, || 2), (1, 2));
@@ -508,5 +1056,24 @@ mod tests {
             sum(&data)
         });
         assert_eq!(total, 255 * 256 / 2);
+    }
+
+    #[test]
+    fn dropping_a_pool_terminates_its_workers() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(2)
+            .thread_name(|i| format!("drop-test-{i}"))
+            .build()
+            .unwrap();
+        assert_eq!(pool.join(|| 1, || 2), (1, 2));
+        drop(pool); // joins both workers; hangs here would fail the test run
+    }
+
+    #[test]
+    fn nested_pools_do_not_interfere() {
+        let outer = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (a, b) = outer.join(|| inner.join(|| 1, || 2), || inner.install(|| 10));
+        assert_eq!((a, b), ((1, 2), 10));
     }
 }
