@@ -73,12 +73,27 @@ fn main() {
     // extra processor = stealing one pending pal-thread, so a balanced
     // binary tree (a = b = 2) should show roughly p − 1 steals — the
     // runtime analogue of "processors are acquired down to depth log_2 p".
+    // The pool's own α·log p throttle is the same cutoff enforced up front:
+    // joins below depth ⌈2·log₂ p⌉ are elided (plain sequential calls), so
+    // the `elided` column counts exactly the forks Figure 2 says can never
+    // be granted a processor.
     println!("\nReal-pool cross-check (balanced binary recursion, depth 5, sleep leaves):\n");
-    println!("{:>4} {:>14} {:>10}", "p", "pool steals", "expect ≈");
+    println!(
+        "{:>4} {:>14} {:>10} {:>8} {:>8}",
+        "p", "pool steals", "expect ≈", "cutoff", "elided"
+    );
     for &p in &[2usize, 4, 8] {
         let pool = PalPool::new(p).expect("p >= 1");
         balanced(&pool, 5);
-        println!("{:>4} {:>14} {:>10}", p, pool.metrics().steals(), p - 1);
+        let m = pool.metrics();
+        println!(
+            "{:>4} {:>14} {:>10} {:>8} {:>8}",
+            p,
+            m.steals(),
+            p - 1,
+            pool.cutoff_depth().expect("default pool has a cutoff"),
+            m.elided()
+        );
     }
     println!("\n(steals can exceed p − 1 when a processor finishes its subtree early and");
     println!("grabs another pending leaf — that is the §3.1 rule working as intended.)");

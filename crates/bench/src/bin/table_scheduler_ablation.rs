@@ -1,17 +1,23 @@
 //! Experiment E12 — scheduler ablation.
 //!
-//! Compares three executors on the same pal-thread mergesort:
+//! Compares executors on the same pal-thread mergesort:
 //!
-//! * the default [`PalPool`] (bounded work-stealing pool: pending
-//!   pal-threads stay in per-worker deques and idle processors steal the
-//!   oldest first — the §3.1 activation rule Theorem 1 relies on);
+//! * the default [`PalPool`] (lock-free work-stealing pool: pending
+//!   pal-threads stay in per-worker Chase–Lev deques and idle processors
+//!   steal the oldest first — the §3.1 activation rule Theorem 1 relies on
+//!   — plus the α·log p depth throttle that elides forks below the top
+//!   `⌈2·log₂ p⌉` recursion levels);
+//! * `Pal-nocut`, the same runtime with the throttle disabled, isolating
+//!   the migration rule on identical deque primitives;
 //! * the [`ThrottledPool`] ablation (spawn-or-inline decided eagerly at
-//!   creation time, no pending queue, no migration — `steals` is zero by
-//!   construction);
+//!   creation time, never revisited, no migration — `steals` is zero by
+//!   construction; since the lock-free runtime landed it ships committed
+//!   pal-threads through the *same* deques and parking, so this really
+//!   compares scheduling policies, not data structures);
 //! * raw `rayon` with the same number of threads (in this offline workspace
-//!   that resolves to `shims/rayon`, which since PR 2 *is* a real bounded
-//!   work-stealing runtime — the same one `PalPool` wraps — so this column
-//!   is a sanity baseline, not an upstream-rayon measurement).
+//!   that resolves to `shims/rayon`, which *is* the bounded work-stealing
+//!   runtime `PalPool` wraps — so this column is a sanity baseline, not an
+//!   upstream-rayon measurement).
 //!
 //! Besides wall-clock times the table reports each scheduler's
 //! spawned/inlined/steal counters on an *unbalanced* divide-and-conquer
@@ -51,17 +57,18 @@ struct SchedulerRow {
     spawned: u64,
     inlined: u64,
     steals: u64,
+    elided: u64,
 }
 
 fn print_rows(rows: &[SchedulerRow]) {
     println!(
-        "{:>10} {:>4} {:>12} {:>9} {:>9} {:>8}",
-        "scheduler", "p", "time", "spawned", "inlined", "steals"
+        "{:>10} {:>4} {:>12} {:>9} {:>9} {:>8} {:>8}",
+        "scheduler", "p", "time", "spawned", "inlined", "steals", "elided"
     );
     for r in rows {
         println!(
-            "{:>10} {:>4} {:>12.3?} {:>9} {:>9} {:>8}",
-            r.label, r.p, r.time, r.spawned, r.inlined, r.steals
+            "{:>10} {:>4} {:>12.3?} {:>9} {:>9} {:>8} {:>8}",
+            r.label, r.p, r.time, r.spawned, r.inlined, r.steals, r.elided
         );
     }
 }
@@ -136,19 +143,24 @@ fn main() {
     // -- Part 2: scheduling divergence on an unbalanced tree --------------
     println!("\nUnbalanced divide-and-conquer chain, depth = {depth} (per-scheduler counters):\n");
     let mut rows = Vec::new();
-    let mut pal_steals_total = 0;
+    let mut pal_default_steals = 0;
+    let mut pal_nocut_steals = 0;
     let mut throttled_steals_total = 0;
     // One timed run per scheduler, by hand rather than through `measure`:
     // its hidden warm-up execution would double every counter and pair a
     // 1-run time with 2-run spawn/steal columns.
     for &p in &[2usize, 4] {
+        // Production configuration: work stealing plus the α·log p depth
+        // throttle — forks below the cutoff never reach the scheduler
+        // (the `elided` column), yet the top-of-tree pending subtrees still
+        // migrate.
         {
             let pal = PalPool::new(p).expect("p >= 1");
             let start = std::time::Instant::now();
             unbalanced(&pal, depth);
             let t = start.elapsed();
             let m = pal.metrics().snapshot();
-            pal_steals_total += m.steals;
+            pal_default_steals += m.steals;
             rows.push(SchedulerRow {
                 label: "PalPool",
                 p,
@@ -156,6 +168,32 @@ fn main() {
                 spawned: m.spawned,
                 inlined: m.inlined,
                 steals: m.steals,
+                elided: m.elided,
+            });
+        }
+
+        // Raw work-stealing runtime with the throttle off: every fork is a
+        // scheduler job, so this row isolates the migration rule itself on
+        // the same deque primitives the other two rows use.
+        {
+            let pal = PalPool::builder()
+                .processors(p)
+                .no_cutoff()
+                .build()
+                .expect("p >= 1");
+            let start = std::time::Instant::now();
+            unbalanced(&pal, depth);
+            let t = start.elapsed();
+            let m = pal.metrics().snapshot();
+            pal_nocut_steals += m.steals;
+            rows.push(SchedulerRow {
+                label: "Pal-nocut",
+                p,
+                time: t,
+                spawned: m.spawned,
+                inlined: m.inlined,
+                steals: m.steals,
+                elided: m.elided,
             });
         }
 
@@ -172,30 +210,46 @@ fn main() {
             spawned: m.spawned,
             inlined: m.inlined,
             steals: m.steals,
+            elided: m.elided,
         });
     }
     print_rows(&rows);
 
     println!("\nReading: the work-stealing PalPool keeps the heavy pending subtree available and");
     println!("migrates it to whichever processor frees up (steals > 0), so pal-threads created");
-    println!("while all processors were busy still end up running in parallel.  The eager");
-    println!("ThrottledPool decides spawn-vs-inline once, at creation: steals is structurally 0");
-    println!("and everything below its first spawn runs sequentially in the parent.");
+    println!("while all processors were busy still end up running in parallel.  With the");
+    println!("default α·log p throttle, forks below the cutoff depth never even become");
+    println!("scheduler jobs (elided > 0); Pal-nocut shows the same runtime scheduling every");
+    println!("fork.  The eager ThrottledPool decides spawn-vs-inline once, at creation:");
+    println!("steals is structurally 0 and everything below its first spawn runs");
+    println!("sequentially in the parent.");
 
     if smoke {
-        // E12's reason to exist: the two schedulers must actually diverge.
+        // E12's reason to exist: the schedulers must actually diverge.
         // (Before PR 2 the rayon shim was itself eager, so this experiment
-        // compared the no-migration rule against itself.)
+        // compared the no-migration rule against itself.)  The default
+        // (cutoff-on) configuration is asserted separately from the
+        // no-cutoff one: a throttle regression that elides everything
+        // must not hide behind the raw runtime's steals.
         assert!(
-            pal_steals_total >= 1,
-            "PalPool recorded no steals on an unbalanced workload — the work-stealing \
-             runtime is not migrating pending pal-threads"
+            pal_default_steals >= 1,
+            "default PalPool (with the α·log p cutoff) recorded no steals on an \
+             unbalanced workload — the production configuration is not migrating \
+             pending pal-threads above the cutoff"
+        );
+        assert!(
+            pal_nocut_steals >= 1,
+            "no-cutoff PalPool recorded no steals on an unbalanced workload — the \
+             work-stealing runtime is not migrating pending pal-threads"
         );
         assert_eq!(
             throttled_steals_total, 0,
             "ThrottledPool is the no-migration ablation; it must never steal"
         );
-        println!("\nsmoke: OK (PalPool steals = {pal_steals_total}, Throttled steals = 0)");
+        println!(
+            "\nsmoke: OK (PalPool steals = {pal_default_steals}, \
+             Pal-nocut steals = {pal_nocut_steals}, Throttled steals = 0)"
+        );
     }
 }
 

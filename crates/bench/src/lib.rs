@@ -18,8 +18,9 @@
 //! | `table_dag_width`      | §4.3/§4.6 antichain widths and speedup bounds |
 //! | `table_memoization`    | §4.5 parallel memoization vs bottom-up |
 //! | `table_varying_p`      | §3.2 correctness and time as a function of p |
-//! | `table_scheduler_ablation` | E12: work-stealing `PalPool` vs eager `ThrottledPool` (steal/spawn/inline counters, `--smoke` asserts divergence) |
+//! | `table_scheduler_ablation` | E12: work-stealing `PalPool` (cutoff on/off) vs eager `ThrottledPool` (steal/spawn/inline/elided counters, `--smoke` asserts divergence) |
 //! | `table_sim_speedup`    | simulator speedup sweep |
+//! | `bench_join_overhead`  | E13: ns/fork baseline — legacy mutex path vs lock-free deque vs α·log p cutoff, steal throughput, end-to-end matrix; emits `BENCH_join_overhead.json` (`--smoke` asserts the ≥5× gate) |
 //!
 //! This crate is an internal tool (`publish = false`); its library half holds
 //! the shared measurement and pretty-printing helpers.

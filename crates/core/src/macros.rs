@@ -1,4 +1,4 @@
-//! The [`palthreads!`] macro.
+//! The [`palthreads!`] and [`pal_join!`] macros.
 
 /// Run a block of statements as pal-threads, mirroring the paper's
 /// `palthreads { … }` C extension (§3.1).
@@ -33,6 +33,28 @@ macro_rules! palthreads {
                 __pal_scope.spawn(|| $body);
             )+
         });
+    }};
+}
+
+/// Fork two expressions as pal-threads and return both results — the
+/// two-way special case of [`palthreads!`] that the paper's
+/// divide-and-conquer examples use, routed through [`Executor::join`] so it
+/// works with any executor (and inherits the α·log p sequential cutoff on a
+/// [`PalPool`]).
+///
+/// ```
+/// use lopram_core::{pal_join, PalPool};
+///
+/// let pool = PalPool::new(4).unwrap();
+/// let (a, b) = pal_join!(pool => 2 + 2, "hello".len());
+/// assert_eq!((a, b), (4, 5));
+/// ```
+///
+/// [`Executor::join`]: crate::Executor::join
+#[macro_export]
+macro_rules! pal_join {
+    ($exec:expr => $a:expr, $b:expr $(,)?) => {{
+        $crate::Executor::join(&$exec, || $a, || $b)
     }};
 }
 
@@ -80,6 +102,31 @@ mod tests {
             order.lock().push(3);
         });
         assert_eq!(*order.lock(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pal_join_returns_both_results() {
+        let pool = PalPool::new(2).unwrap();
+        let x = 20;
+        let (a, b) = pal_join!(pool => x + 1, x + 2);
+        assert_eq!((a, b), (21, 22));
+    }
+
+    #[test]
+    fn pal_join_works_with_any_executor() {
+        let (a, b) = pal_join!(crate::SeqExecutor => 1, 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn pal_join_is_throttled_below_the_cutoff() {
+        // On a sequential pool (cutoff 0) the macro's fork is elided like a
+        // direct `join` call.
+        let pool = PalPool::sequential();
+        let (a, b) = pal_join!(pool => 1, 2);
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(pool.metrics().elided(), 1);
+        assert_eq!(pool.metrics().spawned(), 0);
     }
 
     #[test]

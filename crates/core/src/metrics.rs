@@ -14,6 +14,14 @@
 //! [`steals`](RunMetrics::steals) counter records those migrations; on the
 //! eager [`ThrottledPool`](crate::ThrottledPool) ablation it is always zero
 //! because spawn-vs-inline is decided irrevocably at creation time.
+//!
+//! A fourth outcome exists since the α·log p sequential cutoff landed: a
+//! fork issued below the top `⌈α·log₂ p⌉` recursion levels is **elided** —
+//! executed as a plain nested call without ever creating a scheduler job
+//! (the paper's "below depth `log_a p` everything runs sequentially",
+//! Figure 2).  The [`elided`](RunMetrics::elided) counter records those, so
+//! `spawned + inlined + elided` still accounts for every pal-thread
+//! creation point exactly once.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -30,6 +38,10 @@ pub struct RunMetrics {
     /// than their creator (successful steals).  Zero on schedulers without
     /// a pending queue (e.g. the `ThrottledPool` ablation).
     pub steals: AtomicU64,
+    /// Number of pal-thread creation points elided by the α·log p depth
+    /// cutoff: the fork ran as a plain sequential call and no scheduler job
+    /// was ever created for it.
+    pub elided: AtomicU64,
     /// Total abstract work units reported by the algorithm (optional).
     pub work: AtomicU64,
 }
@@ -56,6 +68,12 @@ impl RunMetrics {
         self.steals.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record that a fork below the sequential cutoff depth was elided
+    /// (executed as a plain call, no scheduler job created).
+    pub fn record_elided(&self) {
+        self.elided.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Add `units` of abstract work.
     pub fn record_work(&self, units: u64) {
         self.work.fetch_add(units, Ordering::Relaxed);
@@ -76,6 +94,11 @@ impl RunMetrics {
         self.steals.load(Ordering::Relaxed)
     }
 
+    /// Number of forks elided by the sequential cutoff so far.
+    pub fn elided(&self) -> u64 {
+        self.elided.load(Ordering::Relaxed)
+    }
+
     /// Total abstract work recorded so far.
     pub fn work(&self) -> u64 {
         self.work.load(Ordering::Relaxed)
@@ -86,6 +109,7 @@ impl RunMetrics {
         self.spawned.store(0, Ordering::Relaxed);
         self.inlined.store(0, Ordering::Relaxed);
         self.steals.store(0, Ordering::Relaxed);
+        self.elided.store(0, Ordering::Relaxed);
         self.work.store(0, Ordering::Relaxed);
     }
 
@@ -95,6 +119,7 @@ impl RunMetrics {
             spawned: self.spawned(),
             inlined: self.inlined(),
             steals: self.steals(),
+            elided: self.elided(),
             work: self.work(),
         }
     }
@@ -109,6 +134,8 @@ pub struct MetricsSnapshot {
     pub inlined: u64,
     /// Pending pal-thread migrations (steals).
     pub steals: u64,
+    /// Forks elided by the α·log p sequential cutoff.
+    pub elided: u64,
     /// Abstract work units.
     pub work: u64,
 }
@@ -159,10 +186,14 @@ mod tests {
         m.record_spawn();
         m.record_inline();
         m.record_steal();
+        m.record_elided();
+        m.record_elided();
+        m.record_elided();
         m.record_work(100);
         assert_eq!(m.spawned(), 2);
         assert_eq!(m.inlined(), 1);
         assert_eq!(m.steals(), 1);
+        assert_eq!(m.elided(), 3);
         assert_eq!(m.work(), 100);
         let snap = m.snapshot();
         assert_eq!(
@@ -171,6 +202,7 @@ mod tests {
                 spawned: 2,
                 inlined: 1,
                 steals: 1,
+                elided: 3,
                 work: 100
             }
         );

@@ -7,6 +7,15 @@
 //! multiprogramming changes).  [`ProcessorPolicy`] captures the ways the
 //! reproduction selects `p`, and [`processors_for`] evaluates a policy for a
 //! concrete input size.
+//!
+//! The flip side of `p = O(log n)` is the paper's §3.1 throttle: in a
+//! divide-and-conquer recursion only the top `O(log p)` levels can ever be
+//! granted fresh processors (Figure 2's cutoff depth `log_a p`); every fork
+//! below that is destined to run sequentially in its parent.
+//! [`cutoff_levels`] computes the `⌈α·log₂ p⌉` depth below which
+//! [`PalPool`](crate::PalPool) degenerates forks to plain calls — `α`
+//! leaves headroom over the exact `log_a p` so mildly unbalanced trees
+//! still expose enough pending pal-threads for migration.
 
 /// Strategy used to pick the number of processors `p` for an input of size `n`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,6 +75,27 @@ pub fn available_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(|v| v.get())
         .unwrap_or(1)
+}
+
+/// Number of top recursion levels that keep creating scheduler jobs on a
+/// pool of `p` processors: `⌈α·log₂ p⌉`.
+///
+/// Below this depth a fork can never be granted a fresh processor in the
+/// paper's model (Figure 2), so [`PalPool`](crate::PalPool) runs it as a
+/// plain sequential call.  `p ≤ 1` yields 0 — a one-processor pool elides
+/// every fork.  `α` is clamped to be non-negative; the result is clamped to
+/// `usize::BITS` (deeper cutoffs are indistinguishable: no recursion over a
+/// `usize`-indexed input is deeper).
+pub fn cutoff_levels(alpha: f64, p: usize) -> usize {
+    if p <= 1 {
+        return 0;
+    }
+    let levels = (alpha.max(0.0) * (p as f64).log2()).ceil();
+    if levels >= usize::BITS as f64 {
+        usize::BITS as usize
+    } else {
+        levels as usize
+    }
 }
 
 /// `⌊log₂ n⌋` with the convention that inputs of size 0 or 1 yield 0.
@@ -149,6 +179,23 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn floor_log_rejects_base_one() {
         let _ = floor_log(1, 10);
+    }
+
+    #[test]
+    fn cutoff_levels_matches_alpha_log2_p() {
+        // p = 1 ⇒ 0: a sequential pool elides everything.
+        assert_eq!(cutoff_levels(2.0, 1), 0);
+        assert_eq!(cutoff_levels(2.0, 2), 2);
+        assert_eq!(cutoff_levels(2.0, 4), 4);
+        assert_eq!(cutoff_levels(2.0, 8), 6);
+        // Non-power-of-two p rounds up: 2·log₂3 ≈ 3.17 → 4.
+        assert_eq!(cutoff_levels(2.0, 3), 4);
+        assert_eq!(cutoff_levels(1.0, 4), 2);
+        // α = 0 disables all parallel levels without disabling tracking.
+        assert_eq!(cutoff_levels(0.0, 8), 0);
+        // Negative α is treated as 0, huge α saturates at usize::BITS.
+        assert_eq!(cutoff_levels(-3.0, 8), 0);
+        assert_eq!(cutoff_levels(1e9, 2), usize::BITS as usize);
     }
 
     #[test]

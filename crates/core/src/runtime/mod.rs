@@ -14,21 +14,29 @@
 //! Two executors realise these semantics on real hardware:
 //!
 //! * [`PalPool`] (default) — a bounded work-stealing pool of exactly `p`
-//!   persistent workers.  A fork's second child is pushed onto the forking
-//!   worker's deque as a *pending* pal-thread; idle workers steal the
-//!   oldest pending pal-thread first (creation order), a parent whose fork
-//!   was stolen helps with other pending work instead of parking
-//!   (help-first join), and a fork nobody stole is popped back and run
-//!   inline by its creator.  So the spawn-vs-inline decision is made at
-//!   *activation* time — exactly the "pending pal-threads are activated …
-//!   as resources become available" rule — and every decision is counted in
-//!   [`PalPool::metrics`].  This is the executor all algorithm crates use
-//!   and the one whose speedups the experiment harness reports.
+//!   persistent workers over lock-free Chase–Lev deques.  A fork's second
+//!   child is pushed onto the forking worker's deque as a *pending*
+//!   pal-thread; idle workers steal the oldest pending pal-thread first
+//!   (creation order), a parent whose fork was stolen helps with other
+//!   pending work instead of parking (help-first join), and a fork nobody
+//!   stole is popped back and run inline by its creator.  So the
+//!   spawn-vs-inline decision is made at *activation* time — exactly the
+//!   "pending pal-threads are activated … as resources become available"
+//!   rule — and every decision is counted in [`PalPool::metrics`].  On top
+//!   of that sits the paper's throttle: forks below the top `⌈α·log₂ p⌉`
+//!   recursion levels — the depth past which Figure 2 guarantees no
+//!   processor can ever be free for them — are *elided* into plain
+//!   sequential calls that never touch the scheduler at all (see the
+//!   [`pool`](self) module docs).  This is the executor all algorithm
+//!   crates use and the one whose speedups the experiment harness reports.
 //! * [`ThrottledPool`] (ablation) — an eager variant that decides
 //!   *at creation time* whether a pal-thread gets its own processor or is
 //!   folded into its parent, and never revisits the decision.  It
 //!   deliberately lacks the migration rule; experiment E12
 //!   (`table_scheduler_ablation`) uses it to quantify what that rule buys.
+//!   Its committed pal-threads travel through the *same* work-stealing
+//!   runtime (`p − 1` persistent workers), so E12 compares scheduling
+//!   policies, not queue implementations.
 //!
 //! The step-accurate, deterministic implementation of the paper's activation
 //! tree (the one that reproduces Figure 1 literally) is in the `lopram-sim`

@@ -26,14 +26,82 @@
 //! eagerly-scheduled [`ThrottledPool`](crate::runtime::ThrottledPool), which
 //! deliberately lacks the migration rule, is kept as the experiment-E12
 //! ablation.
+//!
+//! # The α·log p sequential cutoff
+//!
+//! Figure 2's other half is a *throttle*: with only `p = O(log n)`
+//! processors, forks below recursion depth `log_a p` can never be granted a
+//! fresh processor — the paper's scheduler runs them sequentially in their
+//! parent.  Handing those forks to the work-stealing runtime anyway would
+//! pay a deque push/pop per fork for jobs no processor will ever take, at
+//! every one of the `Θ(n)` nodes of the recursion tree.  `PalPool`
+//! therefore tracks the pal-thread recursion depth in a thread-local
+//! counter (carried across steals, so a migrated subtree keeps its depth)
+//! and, once the depth reaches `⌈α·log₂ p⌉` ([`cutoff_levels`]), runs
+//! [`join`](PalPool::join) and [`PalScope::spawn`] as plain sequential
+//! calls: no job, no latch, no scheduler at all.  Each elided fork is
+//! counted in [`RunMetrics::elided`], so
+//! `spawned + inlined + elided` still accounts for every creation point.
+//!
+//! The default `α = 2` keeps twice the exact binary cutoff depth, leaving
+//! pending pal-threads for migration even on unbalanced trees; tune it with
+//! [`PalPoolBuilder::alpha`] or disable the throttle entirely with
+//! [`PalPoolBuilder::no_cutoff`] (the scheduler-ablation experiments do, to
+//! measure the raw runtime).
 
+use std::cell::Cell;
 use std::ops::Range;
 
 use parking_lot::Mutex;
 
 use crate::error::{Error, Result};
 use crate::metrics::RunMetrics;
-use crate::policy::ProcessorPolicy;
+use crate::policy::{cutoff_levels, ProcessorPolicy};
+
+/// Default headroom factor `α` for the sequential cutoff `⌈α·log₂ p⌉`.
+pub const DEFAULT_CUTOFF_ALPHA: f64 = 2.0;
+
+/// Source of unique pool identities for the thread-local depth counter
+/// (0 is reserved for "no pool").
+static POOL_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+thread_local! {
+    /// `(pool identity, recursion depth)` of the pal-thread computation
+    /// currently running on this thread.  Stolen jobs carry their depth
+    /// with them (the closure wrapper below restores it on the thief), so
+    /// the counter follows the recursion *tree*, not the OS thread.  The
+    /// pool identity keeps different pools from charging their depth
+    /// against each other's cutoff: a pool that finds another pool's entry
+    /// here is at its own logical root (depth 0).
+    static PAL_DEPTH: Cell<(u64, usize)> = const { Cell::new((0, 0)) };
+}
+
+/// Current pal-thread recursion depth of pool `pool_id` on this thread
+/// (0 outside any computation of that pool — including inside a
+/// computation of a *different* pool, which is that pool's business, not
+/// ours).
+fn current_depth(pool_id: u64) -> usize {
+    let (id, depth) = PAL_DEPTH.with(Cell::get);
+    if id == pool_id {
+        depth
+    } else {
+        0
+    }
+}
+
+/// Run `f` with the thread-local depth set to `depth` in pool `pool_id`,
+/// restoring the previous entry afterwards (also on unwind).
+fn with_depth<R>(pool_id: u64, depth: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore((u64, usize));
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            PAL_DEPTH.with(|d| d.set(self.0));
+        }
+    }
+    let prev = PAL_DEPTH.with(|d| d.replace((pool_id, depth)));
+    let _restore = Restore(prev);
+    f()
+}
 
 /// A LoPRAM processor pool with `p` processors.
 ///
@@ -49,16 +117,28 @@ pub struct PalPool {
     processors: usize,
     pool: rayon::ThreadPool,
     metrics: RunMetrics,
+    /// Identity for the thread-local depth counter (see [`PAL_DEPTH`]).
+    id: u64,
+    /// Recursion depth at which forks stop creating scheduler jobs
+    /// (`⌈α·log₂ p⌉`); `None` disables the throttle.
+    cutoff: Option<usize>,
     /// Last pool-level counters already folded into `metrics`, so repeated
     /// [`metrics`](PalPool::metrics) calls only add the delta.
     synced: Mutex<rayon::PoolStats>,
 }
 
 impl PalPool {
-    /// Create a pool with exactly `p` processors.
+    /// Create a pool with exactly `p` processors and the default
+    /// `⌈α·log₂ p⌉` sequential cutoff (`α = 2`).
     ///
     /// Returns [`Error::ZeroProcessors`] when `p == 0`.
     pub fn new(p: usize) -> Result<Self> {
+        PalPool::with_cutoff(p, Some(DEFAULT_CUTOFF_ALPHA))
+    }
+
+    /// Create a pool with exactly `p` processors and an explicit throttle:
+    /// `Some(alpha)` applies the `⌈α·log₂ p⌉` cutoff, `None` disables it.
+    fn with_cutoff(p: usize, alpha: Option<f64>) -> Result<Self> {
         if p == 0 {
             return Err(Error::ZeroProcessors);
         }
@@ -71,6 +151,8 @@ impl PalPool {
             processors: p,
             pool,
             metrics: RunMetrics::new(),
+            id: POOL_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            cutoff: alpha.map(|a| cutoff_levels(a, p)),
             synced: Mutex::new(rayon::PoolStats::default()),
         })
     }
@@ -101,6 +183,15 @@ impl PalPool {
     /// Number of processors `p` this pool models.
     pub fn processors(&self) -> usize {
         self.processors
+    }
+
+    /// Recursion depth below which forks are elided (run as plain
+    /// sequential calls), or `None` when the throttle is disabled.
+    ///
+    /// With the default `α = 2` this is `⌈2·log₂ p⌉`; a one-processor pool
+    /// reports `Some(0)` — every fork elided.
+    pub fn cutoff_depth(&self) -> Option<usize> {
+        self.cutoff
     }
 
     /// Scheduling counters for this pool.
@@ -145,13 +236,24 @@ impl PalPool {
     /// Run two pal-threads and wait for both — the `palthreads { a(); b(); }`
     /// construct of the paper's mergesort example (§3.1).
     ///
-    /// `b` is created as a *pending* pal-thread while `a` runs; it is
-    /// executed by whichever processor gets to it first — an idle processor
-    /// that steals it, or `a`'s processor inline after `a` — so the
-    /// spawn-vs-inline decision is made at activation time, not creation
-    /// time.  Called from outside the pool, both children run on pool
-    /// workers and the caller blocks.  Panics in either child propagate to
-    /// the caller.
+    /// Above the cutoff depth, `b` is created as a *pending* pal-thread
+    /// while `a` runs; it is executed by whichever processor gets to it
+    /// first — an idle processor that steals it, or `a`'s processor inline
+    /// after `a` — so the spawn-vs-inline decision is made at activation
+    /// time, not creation time.  Called from outside the pool (above the
+    /// cutoff), both children run on pool workers and the caller blocks.
+    /// Panics in either child propagate to the caller.
+    ///
+    /// At recursion depth `⌈α·log₂ p⌉` and below, the fork is **elided**:
+    /// `a` and `b` run as plain sequential calls in creation order (the
+    /// §3.1 "no free processors ⇒ the parent runs it" rule, applied at the
+    /// depth where Figure 2 guarantees no processor can ever be free for
+    /// it), recorded in [`RunMetrics::elided`].  Elided children execute on
+    /// the calling thread itself — on a pool whose cutoff is 0 (`p = 1`)
+    /// even an external caller runs them in place rather than shipping
+    /// them to a worker; the execution is sequential either way.  Panic
+    /// semantics match the scheduled path: `b` runs even when `a`
+    /// panicked, and `a`'s panic takes precedence.
     pub fn join<RA, RB>(
         &self,
         a: impl FnOnce() -> RA + Send,
@@ -161,7 +263,25 @@ impl PalPool {
         RA: Send,
         RB: Send,
     {
-        self.pool.join(a, b)
+        let depth = current_depth(self.id);
+        if self.cutoff.is_some_and(|cutoff| depth >= cutoff) {
+            self.metrics.record_elided();
+            // Same contract as the scheduled path: b executes even when a
+            // unwinds (a stolen b always runs), and a's panic wins.
+            let ra = std::panic::catch_unwind(std::panic::AssertUnwindSafe(a));
+            let rb = std::panic::catch_unwind(std::panic::AssertUnwindSafe(b));
+            return match (ra, rb) {
+                (Ok(ra), Ok(rb)) => (ra, rb),
+                (Err(payload), _) => std::panic::resume_unwind(payload),
+                (_, Err(payload)) => std::panic::resume_unwind(payload),
+            };
+        }
+        let child = depth + 1;
+        let id = self.id;
+        self.pool.join(
+            move || with_depth(id, child, a),
+            move || with_depth(id, child, b),
+        )
     }
 
     /// Open a pal-thread scope: `f` may spawn any number of pal-threads via
@@ -178,6 +298,9 @@ impl PalPool {
             let pal = PalScope {
                 scope: s,
                 processors: self.processors,
+                pool_id: self.id,
+                cutoff: self.cutoff,
+                metrics: &self.metrics,
             };
             f(&pal)
         })
@@ -267,26 +390,46 @@ impl PalPool {
 pub struct PalScope<'scope, 'env: 'scope> {
     scope: &'scope rayon::Scope<'env>,
     processors: usize,
+    pool_id: u64,
+    cutoff: Option<usize>,
+    metrics: &'env RunMetrics,
 }
 
 impl<'scope, 'env> PalScope<'scope, 'env> {
     /// Create a pal-thread running `f`.
     ///
-    /// The pal-thread is placed in the pending set (a worker deque or the
-    /// pool's injector) and executed as soon as a processor is available.
-    /// An *idle* processor picks up pending pal-threads oldest-first — the
-    /// order-consistent-with-creation rule of §3.1 — while a creator
-    /// draining its own remaining spawns takes the newest first (the
-    /// standard work-stealing LIFO fast path; the literal creation-order
-    /// rule for that case lives in the `lopram-sim` crate).  Whether the
-    /// pal-thread counted as `spawned` (ran on another processor) or
-    /// `inlined` (executed by its creator) is recorded by the runtime at
-    /// activation time and visible through [`PalPool::metrics`].
+    /// Above the cutoff depth, the pal-thread is placed in the pending set
+    /// (a worker deque or the pool's injector) and executed as soon as a
+    /// processor is available.  An *idle* processor picks up pending
+    /// pal-threads oldest-first — the order-consistent-with-creation rule
+    /// of §3.1 — while a creator draining its own remaining spawns takes
+    /// the newest first (the standard work-stealing LIFO fast path; the
+    /// literal creation-order rule for that case lives in the `lopram-sim`
+    /// crate).  Whether the pal-thread counted as `spawned` (ran on another
+    /// processor) or `inlined` (executed by its creator) is recorded by the
+    /// runtime at activation time and visible through [`PalPool::metrics`].
+    ///
+    /// At recursion depth `⌈α·log₂ p⌉` and below the spawn is elided: `f`
+    /// runs immediately, inline, in creation order — no scheduler job is
+    /// created (see [`RunMetrics::elided`]).  One observable difference to
+    /// a scheduled spawn: a panic in an elided `f` unwinds out of the
+    /// scope *body* right away (later statements of the body don't run),
+    /// whereas a scheduled task's panic is stashed and rethrown from the
+    /// scope entry point after all sibling tasks finished.  Already-spawned
+    /// siblings complete in both cases.
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce() + Send + 'env,
     {
-        self.scope.spawn(move |_| f());
+        let depth = current_depth(self.pool_id);
+        if self.cutoff.is_some_and(|cutoff| depth >= cutoff) {
+            self.metrics.record_elided();
+            f();
+            return;
+        }
+        let child = depth + 1;
+        let id = self.pool_id;
+        self.scope.spawn(move |_| with_depth(id, child, f));
     }
 
     /// Number of processors of the owning pool.
@@ -303,12 +446,26 @@ impl std::fmt::Debug for PalScope<'_, '_> {
     }
 }
 
-/// Builder for [`PalPool`] with explicit processor counts, policies and caps.
-#[derive(Debug, Default, Clone)]
+/// Builder for [`PalPool`] with explicit processor counts, policies, caps
+/// and the sequential-cutoff headroom `α`.
+#[derive(Debug, Clone)]
 pub struct PalPoolBuilder {
     processors: Option<usize>,
     policy: Option<(usize, ProcessorPolicy)>,
     max_processors: Option<usize>,
+    /// `Some(α)` applies the `⌈α·log₂ p⌉` throttle; `None` disables it.
+    alpha: Option<f64>,
+}
+
+impl Default for PalPoolBuilder {
+    fn default() -> Self {
+        PalPoolBuilder {
+            processors: None,
+            policy: None,
+            max_processors: None,
+            alpha: Some(DEFAULT_CUTOFF_ALPHA),
+        }
+    }
 }
 
 impl PalPoolBuilder {
@@ -330,6 +487,22 @@ impl PalPoolBuilder {
         self
     }
 
+    /// Set the sequential-cutoff headroom: forks below recursion depth
+    /// `⌈alpha·log₂ p⌉` run as plain sequential calls.  Default `α = 2`.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// Disable the depth throttle: every fork goes through the
+    /// work-stealing scheduler regardless of depth (used by the
+    /// scheduler-ablation and overhead benchmarks to measure the raw
+    /// runtime).
+    pub fn no_cutoff(mut self) -> Self {
+        self.alpha = None;
+        self
+    }
+
     /// Build the pool.
     pub fn build(self) -> Result<PalPool> {
         let p = match (self.processors, self.policy) {
@@ -348,7 +521,7 @@ impl PalPoolBuilder {
                 });
             }
         }
-        PalPool::new(p)
+        PalPool::with_cutoff(p, self.alpha)
     }
 }
 
@@ -485,29 +658,88 @@ mod tests {
     }
 
     #[test]
-    fn single_processor_pool_inlines_every_fork() {
+    fn single_processor_pool_elides_every_fork() {
+        // p = 1 ⇒ cutoff depth 0: no fork can ever be granted a second
+        // processor, so none of them should cost a scheduler job — the
+        // "spawned == 0 below the cutoff" regression of the α·log p
+        // throttle.
         let pool = PalPool::new(1).unwrap();
+        assert_eq!(pool.cutoff_depth(), Some(0));
         pool.join(|| (), || ());
         pool.join(|| (), || ());
         let m = pool.metrics();
         assert_eq!(m.steals(), 0, "one worker has no one to steal from");
-        assert_eq!(m.inlined(), 2);
+        assert_eq!(m.spawned(), 0, "elided forks never reach the scheduler");
+        assert_eq!(m.inlined(), 0, "elided forks never reach the scheduler");
+        assert_eq!(m.elided(), 2);
     }
 
     #[test]
-    fn single_processor_scope_records_no_steals() {
-        // Scope pal-threads created outside the pool are injected, not
-        // stolen: with one worker there is no migration to report, even
-        // though the tasks do run on a pool processor (spawned).
+    fn single_processor_scope_elides_spawns_in_creation_order() {
+        // Same throttle on the multi-way construct: a one-processor scope
+        // runs its pal-threads inline, immediately, in creation order —
+        // without creating the eight injector jobs it used to.
         let pool = PalPool::new(1).unwrap();
+        let order = parking_lot::Mutex::new(Vec::new());
         pool.scope(|s| {
-            for _ in 0..8 {
-                s.spawn(|| ());
+            for i in 0..8 {
+                let order = &order;
+                s.spawn(move || order.lock().push(i));
             }
         });
+        assert_eq!(*order.lock(), (0..8).collect::<Vec<_>>());
         let m = pool.metrics();
         assert_eq!(m.steals(), 0, "a one-processor pool cannot migrate work");
-        assert_eq!(m.spawned(), 8, "injected pal-threads ran on the pool");
+        assert_eq!(m.spawned(), 0, "elided spawns never reach the scheduler");
+        assert_eq!(m.elided(), 8);
+    }
+
+    #[test]
+    fn one_worker_pool_without_cutoff_schedules_every_fork() {
+        // The raw-runtime configuration the overhead benchmark measures:
+        // with the throttle disabled, every fork goes through the deque and
+        // is popped back (inlined) by its creator.
+        let pool = PalPool::builder()
+            .processors(1)
+            .no_cutoff()
+            .build()
+            .unwrap();
+        assert_eq!(pool.cutoff_depth(), None);
+        pool.join(|| (), || ());
+        pool.join(|| (), || ());
+        let m = pool.metrics();
+        assert_eq!(m.inlined(), 2);
+        assert_eq!(m.elided(), 0);
+        assert_eq!(m.steals(), 0);
+    }
+
+    #[test]
+    fn cutoff_elides_exactly_the_levels_below_alpha_log_p() {
+        // Balanced binary join tree of depth 5 on p = 2 (cutoff = 2): the
+        // joins at depths 0 and 1 (three of them) reach the scheduler, the
+        // 28 deeper ones are elided.  Exactness also proves the depth
+        // travels with stolen subtrees — a thief resetting it to zero would
+        // schedule extra levels.
+        fn tree(pool: &PalPool, depth: u32) {
+            if depth == 0 {
+                return;
+            }
+            pool.join(|| tree(pool, depth - 1), || tree(pool, depth - 1));
+        }
+        let pool = PalPool::new(2).unwrap();
+        assert_eq!(pool.cutoff_depth(), Some(2));
+        tree(&pool, 5);
+        let m = pool.metrics();
+        assert_eq!(m.spawned() + m.inlined(), 3, "depths 0-1 are scheduled");
+        assert_eq!(m.elided(), 28, "depths 2-4 are elided");
+    }
+
+    #[test]
+    fn builder_alpha_tunes_the_cutoff() {
+        let pool = PalPool::builder().processors(4).alpha(1.0).build().unwrap();
+        assert_eq!(pool.cutoff_depth(), Some(2));
+        let pool = PalPool::builder().processors(4).build().unwrap();
+        assert_eq!(pool.cutoff_depth(), Some(4), "default α = 2");
     }
 
     #[test]

@@ -20,6 +20,22 @@
 //! `PalPool` keeps migrating the heavy pending subtree to whichever
 //! processor frees up, while `ThrottledPool` spawns once and then runs the
 //! rest of the chain sequentially.
+//!
+//! # Transport vs. policy
+//!
+//! Since the lock-free runtime landed, `ThrottledPool` no longer has a
+//! queueing implementation of its own (it used to spawn one OS thread per
+//! granted pal-thread through `std::thread::scope`).  A pool for `p`
+//! processors owns `p − 1` persistent workers of the *same* work-stealing
+//! runtime `PalPool` wraps — the same Chase–Lev deques, injector and
+//! parking — and ships every *committed* pal-thread through it, while the
+//! calling thread plays the remaining processor.  What stays eager is the
+//! **policy**: [`ProcessorTokens`] admission is consulted once, at creation
+//! time, and a pal-thread denied a token is executed inline immediately and
+//! can never migrate later.  E12 therefore compares scheduling policies on
+//! identical data structures, not a lock-free runtime against OS-thread
+//! spawning.  The pool's own [`RunMetrics`] record only the eager decisions
+//! (`steals` is structurally zero).
 
 use std::ops::Range;
 use std::sync::Arc;
@@ -49,6 +65,10 @@ pub struct ThrottledPool {
     processors: usize,
     tokens: Arc<ProcessorTokens>,
     metrics: RunMetrics,
+    /// The `p − 1` extra processors: persistent workers of the same
+    /// work-stealing runtime `PalPool` uses.  `None` when `p == 1` (no
+    /// extra processors, nothing to ship work to).
+    pool: Option<rayon::ThreadPool>,
 }
 
 impl ThrottledPool {
@@ -59,10 +79,24 @@ impl ThrottledPool {
         if p == 0 {
             return Err(Error::ZeroProcessors);
         }
+        let pool = if p > 1 {
+            Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(p - 1)
+                    .thread_name(|i| format!("lopram-eager-{i}"))
+                    .build()
+                    .map_err(|e| {
+                        Error::InvalidInput(format!("failed to build thread pool: {e}"))
+                    })?,
+            )
+        } else {
+            None
+        };
         Ok(ThrottledPool {
             processors: p,
             tokens: ProcessorTokens::new(p - 1),
             metrics: RunMetrics::new(),
+            pool,
         })
     }
 
@@ -108,10 +142,12 @@ impl ThrottledPool {
     /// construct of the paper's mergesort example.
     ///
     /// `a` is the first child and is always executed by the calling
-    /// processor; `b` is granted its own processor if one is free and is
-    /// otherwise executed inline after `a`, in creation order.  The call
-    /// returns when both children have finished (the paper's implicit wait at
-    /// the end of a `palthreads` block).  Panics in either child propagate.
+    /// processor; `b` is granted its own processor if one is free
+    /// (committed to the `p − 1` worker pool, holding its token until it
+    /// finishes) and is otherwise executed inline after `a`, in creation
+    /// order.  The decision is never revisited.  The call returns when both
+    /// children have finished (the paper's implicit wait at the end of a
+    /// `palthreads` block).  Panics in either child propagate.
     pub fn join<RA, RB>(
         &self,
         a: impl FnOnce() -> RA + Send,
@@ -121,26 +157,28 @@ impl ThrottledPool {
         RA: Send,
         RB: Send,
     {
-        if let Some(permit) = self.tokens.try_acquire() {
-            self.metrics.record_spawn();
-            std::thread::scope(|s| {
-                let handle = s.spawn(move || {
-                    let _permit = permit;
-                    b()
+        if let Some(pool) = &self.pool {
+            if let Some(permit) = self.tokens.try_acquire() {
+                self.metrics.record_spawn();
+                let slot_b: Mutex<Option<RB>> = Mutex::new(None);
+                let ra = pool.in_place_scope(|s| {
+                    let slot_b = &slot_b;
+                    s.spawn(move |_| {
+                        let _permit = permit;
+                        *slot_b.lock() = Some(b());
+                    });
+                    a()
                 });
-                let ra = a();
-                let rb = match handle.join() {
-                    Ok(rb) => rb,
-                    Err(payload) => std::panic::resume_unwind(payload),
-                };
-                (ra, rb)
-            })
-        } else {
-            self.metrics.record_inline();
-            let ra = a();
-            let rb = b();
-            (ra, rb)
+                // The scope waits for b (rethrowing its panic), so the slot
+                // is filled whenever we get here.
+                let rb = slot_b.into_inner().expect("committed pal-thread ran");
+                return (ra, rb);
+            }
         }
+        self.metrics.record_inline();
+        let ra = a();
+        let rb = b();
+        (ra, rb)
     }
 
     /// Open a pal-thread scope: `f` may spawn any number of pal-threads via
@@ -153,15 +191,24 @@ impl ThrottledPool {
         &'env self,
         f: impl for<'scope> FnOnce(&ThrottledScope<'scope, 'env>) -> R,
     ) -> R {
-        std::thread::scope(|s| {
-            let pal = ThrottledScope {
-                scope: s,
+        match &self.pool {
+            Some(pool) => pool.in_place_scope(|s| {
+                let pal = ThrottledScope {
+                    scope: Some(s),
+                    tokens: &self.tokens,
+                    metrics: &self.metrics,
+                    processors: self.processors,
+                };
+                f(&pal)
+            }),
+            // p = 1: no extra processors, every spawn is inline.
+            None => f(&ThrottledScope {
+                scope: None,
                 tokens: &self.tokens,
                 metrics: &self.metrics,
                 processors: self.processors,
-            };
-            f(&pal)
-        })
+            }),
+        }
     }
 
     /// Apply `f` to every index in `range`, splitting the range into chunks
@@ -247,33 +294,37 @@ impl ThrottledPool {
 /// A scope in which pal-threads can be spawned; see [`ThrottledPool::scope`].
 #[derive(Debug)]
 pub struct ThrottledScope<'scope, 'env: 'scope> {
-    scope: &'scope std::thread::Scope<'scope, 'env>,
-    tokens: &'scope Arc<ProcessorTokens>,
-    metrics: &'scope RunMetrics,
+    /// `None` on a one-processor pool (no workers to commit to).
+    scope: Option<&'scope rayon::Scope<'env>>,
+    tokens: &'env Arc<ProcessorTokens>,
+    metrics: &'env RunMetrics,
     processors: usize,
 }
 
 impl<'scope, 'env> ThrottledScope<'scope, 'env> {
     /// Create a pal-thread running `f`.
     ///
-    /// If a processor is free the pal-thread runs concurrently on its own
-    /// core; otherwise it is executed inline, immediately, by the calling
-    /// thread — i.e. pending pal-threads are serviced in creation order by
-    /// their parent, as §3.1 prescribes.
+    /// If a processor is free the pal-thread is committed to the worker
+    /// pool (keeping its token until it finishes); otherwise it is executed
+    /// inline, immediately, by the calling thread — i.e. pending
+    /// pal-threads are serviced in creation order by their parent, as §3.1
+    /// prescribes.  Either way the decision is final.
     pub fn spawn<F>(&self, f: F)
     where
-        F: FnOnce() + Send + 'scope,
+        F: FnOnce() + Send + 'env,
     {
-        if let Some(permit) = self.tokens.try_acquire() {
-            self.metrics.record_spawn();
-            self.scope.spawn(move || {
-                let _permit = permit;
-                f();
-            });
-        } else {
-            self.metrics.record_inline();
-            f();
+        if let Some(scope) = self.scope {
+            if let Some(permit) = self.tokens.try_acquire() {
+                self.metrics.record_spawn();
+                scope.spawn(move |_| {
+                    let _permit = permit;
+                    f();
+                });
+                return;
+            }
         }
+        self.metrics.record_inline();
+        f();
     }
 
     /// Number of processors of the owning pool.

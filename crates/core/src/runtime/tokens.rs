@@ -2,11 +2,13 @@
 //! pal-thread scheduler.
 //!
 //! Only the [`ThrottledPool`](crate::ThrottledPool) ablation uses these
-//! tokens (spawn-or-inline decided once, at creation).  The default
-//! [`PalPool`](crate::PalPool) does not: its admission control is the
-//! work-stealing runtime itself — `p` persistent workers, so at most `p`
-//! pal-threads execute concurrently, with pending forks queued rather than
-//! folded away.
+//! tokens (spawn-or-inline decided once, at creation); they are its
+//! *policy*, while the shared work-stealing runtime is its transport.  The
+//! default [`PalPool`](crate::PalPool) does not use them: its admission
+//! control is the work-stealing runtime itself — `p` persistent workers, so
+//! at most `p` pal-threads execute concurrently, with pending forks queued
+//! rather than folded away (and forks below the α·log p cutoff depth never
+//! created at all).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;

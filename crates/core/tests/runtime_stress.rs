@@ -35,8 +35,17 @@ fn nested_join_stress() {
     }
     let m = pool.metrics();
     // Every fork is accounted exactly once: fib(12) forks fib(n>=2) calls,
-    // i.e. 232 joins per iteration.
-    assert_eq!(m.spawned() + m.inlined(), 232 * repeat(100) as u64);
+    // i.e. 232 joins per iteration — scheduled (spawned/inlined) above the
+    // α·log p cutoff depth, elided below it.
+    assert_eq!(
+        m.spawned() + m.inlined() + m.elided(),
+        232 * repeat(100) as u64
+    );
+    assert!(
+        m.elided() > 0,
+        "fib(12) on p = 4 recurses past the cutoff depth of {:?}",
+        pool.cutoff_depth()
+    );
 }
 
 /// Scopes under contention: all spawned pal-threads run exactly once per
