@@ -21,6 +21,7 @@
 //! | `table_scheduler_ablation` | E12: work-stealing `PalPool` (cutoff on/off) vs eager `ThrottledPool` (steal/spawn/inline/elided counters, `--smoke` asserts divergence) |
 //! | `table_sim_speedup`    | simulator speedup sweep |
 //! | `bench_join_overhead`  | E13: ns/fork baseline — legacy mutex path vs lock-free deque vs α·log p cutoff, steal throughput, end-to-end matrix; emits `BENCH_join_overhead.json` (`--smoke` asserts the ≥5× gate) |
+//! | `table_graph_speedup`  | E14: irregular graph kernels (scan/pack BFS, connected components, histogram, triangles) × shapes × p ∈ {1, 2, 4}; `--smoke` asserts parallel ≡ sequential, nonzero steals at p ≥ 2, exact fork accounting |
 //!
 //! This crate is an internal tool (`publish = false`); its library half holds
 //! the shared measurement and pretty-printing helpers.

@@ -19,7 +19,10 @@
 //!   the paper (§3.2) plus fixed and machine-width policies for experiments;
 //! * [`PalPool`] — a bounded work-stealing fork/join runtime implementing
 //!   the pal-thread semantics of §3.1, pending-thread migration included
-//!   ([`PalPool::join`], [`PalPool::scope`], [`palthreads!`]);
+//!   ([`PalPool::join`], [`PalPool::scope`], [`palthreads!`]), plus the
+//!   blocked data-parallel primitives irregular workloads are built from
+//!   ([`PalPool::scan`], [`PalPool::pack`], [`PalPool::expand`],
+//!   [`PalPool::reduce_by_index`] — see `runtime::primitives`);
 //! * [`Executor`] — an abstraction over sequential and pal-thread execution
 //!   used by the divide-and-conquer and dynamic-programming crates;
 //! * [`SerCell`] — the paper's transparently *serialized shared variable*;
@@ -39,9 +42,9 @@ mod macros;
 
 pub use error::{Error, Result};
 pub use executor::{Executor, PalExecutor, SeqExecutor};
-pub use metrics::{RunMetrics, SpeedupReport};
+pub use metrics::{assert_metrics_consistent, MetricsSnapshot, RunMetrics, SpeedupReport};
 pub use policy::{processors_for, ProcessorPolicy};
-pub use runtime::{PalPool, PalPoolBuilder, PalScope, ThrottledPool, ThrottledScope};
+pub use runtime::{PalPool, PalPoolBuilder, PalScope, Scan, ThrottledPool, ThrottledScope};
 pub use sercell::SerCell;
 
 /// Convenience prelude re-exporting the items almost every user needs.
@@ -49,6 +52,6 @@ pub mod prelude {
     pub use crate::executor::{Executor, PalExecutor, SeqExecutor};
     pub use crate::palthreads;
     pub use crate::policy::{processors_for, ProcessorPolicy};
-    pub use crate::runtime::{PalPool, PalPoolBuilder, PalScope, ThrottledPool};
+    pub use crate::runtime::{PalPool, PalPoolBuilder, PalScope, Scan, ThrottledPool};
     pub use crate::sercell::SerCell;
 }

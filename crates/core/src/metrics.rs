@@ -113,6 +113,14 @@ impl RunMetrics {
         self.work.store(0, Ordering::Relaxed);
     }
 
+    /// Total pal-thread creation points so far: every fork is either
+    /// granted a processor (`spawned`), folded into its parent (`inlined`)
+    /// or elided by the α·log p cutoff (`elided`) — never lost, never
+    /// double-counted.
+    pub fn forks(&self) -> u64 {
+        self.spawned() + self.inlined() + self.elided()
+    }
+
     /// Snapshot the counters into a plain value.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -138,6 +146,44 @@ pub struct MetricsSnapshot {
     pub elided: u64,
     /// Abstract work units.
     pub work: u64,
+}
+
+impl MetricsSnapshot {
+    /// Total pal-thread creation points: `spawned + inlined + elided`.
+    pub fn forks(&self) -> u64 {
+        self.spawned + self.inlined + self.elided
+    }
+}
+
+/// Assert the full fork-accounting invariant of a pal-thread run: every one
+/// of the `expected_forks` creation points is accounted exactly once as
+/// `spawned`, `inlined` or `elided`, and migrations never exceed grants
+/// (`steals <= spawned` — a pal-thread migrates by being stolen, and every
+/// steal is a grant, but injected pal-threads are granted without
+/// migrating).
+///
+/// The fork count of a pal-thread computation is a property of the program
+/// structure alone — which `join`/`spawn` call sites execute — not of the
+/// schedule, so tests can assert it exactly even on a racy host.  Used by
+/// `runtime_cutoff.rs`, `runtime_migration.rs` and the `lopram-graph`
+/// differential suite in place of ad-hoc counter arithmetic.
+#[track_caller]
+pub fn assert_metrics_consistent(metrics: &RunMetrics, expected_forks: u64) {
+    let snap = metrics.snapshot();
+    assert_eq!(
+        snap.forks(),
+        expected_forks,
+        "spawned ({}) + inlined ({}) + elided ({}) must account for every fork",
+        snap.spawned,
+        snap.inlined,
+        snap.elided,
+    );
+    assert!(
+        snap.steals <= snap.spawned,
+        "steals ({}) cannot exceed spawned ({}): every migration is a processor grant",
+        snap.steals,
+        snap.spawned,
+    );
 }
 
 /// Measured speedup of a parallel run against its sequential counterpart.

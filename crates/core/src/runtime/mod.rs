@@ -43,9 +43,11 @@
 //! crate.
 
 mod pool;
+mod primitives;
 mod throttled;
 mod tokens;
 
 pub use pool::{PalPool, PalPoolBuilder, PalScope};
+pub use primitives::Scan;
 pub use throttled::{ThrottledPool, ThrottledPoolBuilder, ThrottledScope};
 pub use tokens::ProcessorTokens;

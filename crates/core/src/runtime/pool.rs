@@ -381,7 +381,20 @@ impl PalPool {
         acc
     }
 
-    fn chunk_count(&self, len: usize) -> usize {
+    /// Target block count for the data-parallel helpers on a length-`len`
+    /// range: `4·p`, clamped to `[1, len]`.
+    ///
+    /// The blocked primitives of `runtime::primitives` ([`scan`][s],
+    /// [`pack`](PalPool::pack), …) partition into **exactly** this many
+    /// blocks (balanced boundaries `c·len/chunks`), so tests and the
+    /// experiment harness can predict their fork counts precisely.
+    /// [`for_each_index`](PalPool::for_each_index) and
+    /// [`map_reduce`](PalPool::map_reduce) use it as an upper bound only —
+    /// their fixed-size chunking (`len.div_ceil(chunks)` per chunk) may
+    /// produce fewer chunks than this.
+    ///
+    /// [s]: PalPool::scan
+    pub fn chunk_count(&self, len: usize) -> usize {
         (self.processors * 4).clamp(1, len)
     }
 }

@@ -1,0 +1,551 @@
+//! Blocked data-parallel primitives on the [`PalPool`]: prefix-sum
+//! ([`scan`](PalPool::scan)), filtering ([`pack`](PalPool::pack)), CSR-style
+//! expansion ([`expand`](PalPool::expand)), index-space map
+//! ([`map_collect`](PalPool::map_collect)) and histogram-style reduction
+//! ([`reduce_by_index`](PalPool::reduce_by_index)).
+//!
+//! Irregular workloads — frontier BFS, connected components, and the other
+//! graph kernels in `lopram-graph` — are built from exactly two primitives,
+//! scan and pack, in the style of Blelloch's prefix-sum framework and its
+//! modern incarnations (GBBS; Tithi et al.'s level-synchronous BFS with
+//! optimal prefix-sum).  On a LoPRAM those primitives fit the model
+//! unusually well: with only `p = O(log n)` processors a blocked two-pass
+//! scan over `Θ(p)` blocks is work-optimal, and the block loop is a plain
+//! balanced divide-and-conquer — i.e. exactly the pal-thread shape of §3.1.
+//!
+//! Every primitive here is built on [`PalPool::join`]: the block range is
+//! split by a balanced binary fork tree, so the primitives inherit the
+//! `⌈α·log₂ p⌉` sequential cutoff (deep forks are elided into plain calls)
+//! and the [`RunMetrics`](crate::RunMetrics) accounting — each primitive
+//! call contributes a deterministic number of forks, all of them visible as
+//! `spawned + inlined + elided` in [`PalPool::metrics`].  With `C`
+//! blocks ([`PalPool::chunk_count`]) on a non-empty input, a
+//! [`map_collect`](PalPool::map_collect) or
+//! [`reduce_by_index`](PalPool::reduce_by_index) costs `C − 1` forks (one
+//! parallel pass), a [`scan`](PalPool::scan) or [`pack`](PalPool::pack)
+//! costs `2·(C − 1)` (two passes), and an [`expand`](PalPool::expand) costs
+//! `3·(C − 1)` (a scan plus a write pass).
+//!
+//! The slices handed to worker blocks are produced by recursive
+//! `split_at_mut`, so the module needs no `unsafe` and no interior
+//! mutability: disjointness is enforced by the borrow checker, not by
+//! index discipline.
+
+use std::ops::Range;
+
+use super::pool::PalPool;
+
+/// Result of an exclusive blocked [`scan`](PalPool::scan): the running
+/// prefix *before* each element, plus the reduction of the whole input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scan<T> {
+    /// `exclusive[i] = op(identity, input[0], …, input[i-1])`; in
+    /// particular `exclusive[0] == identity`.
+    pub exclusive: Vec<T>,
+    /// The reduction of the entire input — what `exclusive[n]` would be.
+    pub total: T,
+}
+
+impl PalPool {
+    /// Exclusive prefix scan of `input` under the associative operator
+    /// `op` with identity `identity`.
+    ///
+    /// Blocked two-pass algorithm: block reductions in parallel, a
+    /// sequential exclusive scan over the `O(p)` block sums, then parallel
+    /// per-block prefix writes.  `op` must be associative (the usual scan
+    /// contract); the result is then independent of the blocking.
+    ///
+    /// Costs `2·(C − 1)` pal-thread forks for `C =
+    /// `[`chunk_count`](PalPool::chunk_count)`(input.len())` blocks (zero
+    /// on an empty input), all routed through [`join`](PalPool::join) and
+    /// therefore subject to the sequential cutoff and counted in
+    /// [`metrics`](PalPool::metrics).
+    pub fn scan<T, F>(&self, input: &[T], identity: T, op: F) -> Scan<T>
+    where
+        T: Clone + Send + Sync,
+        F: Fn(&T, &T) -> T + Sync,
+    {
+        let n = input.len();
+        if n == 0 {
+            return Scan {
+                exclusive: Vec::new(),
+                total: identity,
+            };
+        }
+        let chunks = self.chunk_count(n);
+        let bounds = balanced_bounds(n, chunks);
+
+        // Pass 1 (upsweep): one reduction per block, in parallel.
+        let mut sums = vec![identity.clone(); chunks];
+        self.blocked_uneven_mut(&mut sums, &unit_bounds(chunks), |chunk, slot| {
+            let mut acc = identity.clone();
+            for x in &input[bounds[chunk]..bounds[chunk + 1]] {
+                acc = op(&acc, x);
+            }
+            slot[0] = acc;
+        });
+
+        // Sequential exclusive scan over the O(p) block sums.
+        let mut acc = identity.clone();
+        let offsets: Vec<T> = sums
+            .iter()
+            .map(|s| {
+                let before = acc.clone();
+                acc = op(&acc, s);
+                before
+            })
+            .collect();
+        let total = acc;
+
+        // Pass 2 (downsweep): each block writes its exclusive prefixes,
+        // seeded with the scanned block offset.
+        let mut exclusive = vec![identity; n];
+        self.blocked_uneven_mut(&mut exclusive, &bounds, |chunk, out| {
+            let mut acc = offsets[chunk].clone();
+            for (slot, x) in out.iter_mut().zip(&input[bounds[chunk]..]) {
+                *slot = acc.clone();
+                acc = op(&acc, x);
+            }
+        });
+        Scan { exclusive, total }
+    }
+
+    /// Keep exactly the elements for which `keep(index, &element)` is true,
+    /// in their original order (parallel filter / stream compaction).
+    ///
+    /// Blocked two-pass algorithm: per-block survivor counts in parallel, a
+    /// sequential scan of the counts, then parallel writes into disjoint
+    /// output regions.  `keep` is called **twice** per element (once to
+    /// count, once to write) and must therefore be pure.
+    ///
+    /// Costs `2·(C − 1)` forks for `C` blocks, like [`scan`](PalPool::scan)
+    /// (`C − 1` when no element survives — the write pass is skipped).
+    pub fn pack<T, F>(&self, input: &[T], keep: F) -> Vec<T>
+    where
+        T: Clone + Send + Sync,
+        F: Fn(usize, &T) -> bool + Sync,
+    {
+        let n = input.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunks = self.chunk_count(n);
+        let bounds = balanced_bounds(n, chunks);
+
+        // Pass 1: count survivors per block.
+        let mut counts = vec![0usize; chunks];
+        self.blocked_uneven_mut(&mut counts, &unit_bounds(chunks), |chunk, slot| {
+            let lo = bounds[chunk];
+            slot[0] = input[lo..bounds[chunk + 1]]
+                .iter()
+                .enumerate()
+                .filter(|(i, x)| keep(lo + i, x))
+                .count();
+        });
+
+        // Sequential scan of block counts into output boundaries.
+        let out_bounds = exclusive_bounds(&counts);
+        let total = out_bounds[chunks];
+        if total == 0 {
+            return Vec::new();
+        }
+
+        // Pass 2: re-filter each block into its disjoint output region.
+        let mut out = vec![input[0].clone(); total];
+        self.blocked_uneven_mut(&mut out, &out_bounds, |chunk, region| {
+            let lo = bounds[chunk];
+            let mut slots = region.iter_mut();
+            for (i, x) in input[lo..bounds[chunk + 1]].iter().enumerate() {
+                if keep(lo + i, x) {
+                    *slots.next().expect("keep must be pure: count == write") = x.clone();
+                }
+            }
+            assert!(slots.next().is_none(), "keep must be pure: count == write");
+        });
+        out
+    }
+
+    /// CSR-style expansion: allocate `sizes.iter().sum()` output slots and
+    /// hand each index `i` a mutable slice of `sizes[i]` consecutive slots
+    /// (in index order) to fill via `write(i, slice)`.
+    ///
+    /// This is the scan-based "edge map" building block of frontier BFS:
+    /// `sizes` are the frontier degrees, the offsets come from a parallel
+    /// [`scan`](PalPool::scan), and each frontier vertex writes its
+    /// neighbour candidates into its own region.  Slots `write` leaves
+    /// untouched keep the `fill` value.  Unlike [`pack`](PalPool::pack)'s
+    /// predicate, `write` is called exactly once per index, so it may have
+    /// side effects.
+    ///
+    /// Costs `3·(C − 1)` forks for `C =
+    /// `[`chunk_count`](PalPool::chunk_count)`(sizes.len())` blocks: a scan
+    /// of `sizes` plus one write pass.
+    pub fn expand<T, F>(&self, sizes: &[usize], fill: T, write: F) -> Vec<T>
+    where
+        T: Clone + Send + Sync,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let n = sizes.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunks = self.chunk_count(n);
+        let item_bounds = balanced_bounds(n, chunks);
+
+        let offsets = self.scan(sizes, 0usize, |a, b| a + b);
+        let total = offsets.total;
+        let mut out = vec![fill; total];
+
+        // Block boundaries in the output: the scanned offset of each
+        // block's first item.
+        let mut out_bounds: Vec<usize> = (0..chunks)
+            .map(|c| offsets.exclusive[item_bounds[c]])
+            .collect();
+        out_bounds.push(total);
+
+        self.blocked_uneven_mut(&mut out, &out_bounds, |chunk, region| {
+            let mut rest = region;
+            let lo = item_bounds[chunk];
+            for (i, &size) in sizes[lo..item_bounds[chunk + 1]].iter().enumerate() {
+                let (head, tail) = rest.split_at_mut(size);
+                write(lo + i, head);
+                rest = tail;
+            }
+        });
+        out
+    }
+
+    /// Apply `map` to every index in `range` and collect the results in
+    /// order — the `Vec`-producing companion of
+    /// [`for_each_index`](PalPool::for_each_index).
+    ///
+    /// Costs `C − 1` forks for `C` blocks (a single parallel pass).
+    pub fn map_collect<T, F>(&self, range: Range<usize>, map: F) -> Vec<T>
+    where
+        T: Clone + Default + Send + Sync,
+        F: Fn(usize) -> T + Sync,
+    {
+        let len = range.end.saturating_sub(range.start);
+        let mut out = vec![T::default(); len];
+        if len == 0 {
+            return out;
+        }
+        let chunks = self.chunk_count(len);
+        let bounds = balanced_bounds(len, chunks);
+        self.blocked_uneven_mut(&mut out, &bounds, |chunk, slots| {
+            let lo = range.start + bounds[chunk];
+            for (k, slot) in slots.iter_mut().enumerate() {
+                *slot = map(lo + k);
+            }
+        });
+        out
+    }
+
+    /// Bucketed reduction over an index range: `map(i)` names a bucket and
+    /// a contribution, and every bucket's contributions are folded with
+    /// `reduce` starting from `identity` — a parallel histogram when the
+    /// contribution is `1`.
+    ///
+    /// Each block folds into a private bucket array (no shared-memory
+    /// contention — the LoPRAM has `O(log n)` processors, so the private
+    /// arrays cost `O(buckets · log n)` space), and the block arrays are
+    /// merged sequentially at the end.  `reduce` must be associative and
+    /// commutative for the result to be independent of the blocking.
+    ///
+    /// Costs `C − 1` forks for `C` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` returns a bucket index `>= buckets`.
+    pub fn reduce_by_index<T, M, R>(
+        &self,
+        range: Range<usize>,
+        buckets: usize,
+        identity: T,
+        map: M,
+        reduce: R,
+    ) -> Vec<T>
+    where
+        T: Clone + Send + Sync,
+        M: Fn(usize) -> (usize, T) + Sync,
+        R: Fn(&T, &T) -> T + Sync,
+    {
+        let len = range.end.saturating_sub(range.start);
+        let mut out = vec![identity.clone(); buckets];
+        if len == 0 || buckets == 0 {
+            return out;
+        }
+        let chunks = self.chunk_count(len);
+        let bounds = balanced_bounds(len, chunks);
+
+        let mut partials: Vec<Vec<T>> = vec![Vec::new(); chunks];
+        self.blocked_uneven_mut(&mut partials, &unit_bounds(chunks), |chunk, slot| {
+            let lo = range.start + bounds[chunk];
+            let hi = range.start + bounds[chunk + 1];
+            let mut local = vec![identity.clone(); buckets];
+            for i in lo..hi {
+                let (bucket, value) = map(i);
+                assert!(
+                    bucket < buckets,
+                    "reduce_by_index: bucket {bucket} out of range (buckets = {buckets})"
+                );
+                local[bucket] = reduce(&local[bucket], &value);
+            }
+            slot[0] = local;
+        });
+
+        for local in &partials {
+            for (acc, v) in out.iter_mut().zip(local) {
+                *acc = reduce(acc, v);
+            }
+        }
+        out
+    }
+
+    /// Run `f(chunk, slice)` for every block of `data`, where block `c`
+    /// spans `data[bounds[c] - bounds[0] .. bounds[c + 1] - bounds[0]]`
+    /// (`bounds` is monotone with `bounds.len() == blocks + 1`).  The
+    /// blocks are split over pal-threads with a balanced binary
+    /// [`join`](PalPool::join) tree, so disjointness of the slices is
+    /// enforced by `split_at_mut`, not by index arithmetic in `f`.
+    fn blocked_uneven_mut<T, F>(&self, data: &mut [T], bounds: &[usize], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        fn go<T, F>(
+            pool: &PalPool,
+            first: usize,
+            count: usize,
+            data: &mut [T],
+            bounds: &[usize],
+            f: &F,
+        ) where
+            T: Send,
+            F: Fn(usize, &mut [T]) + Sync,
+        {
+            if count <= 1 {
+                f(first, data);
+                return;
+            }
+            let left = count / 2;
+            let split = bounds[first + left] - bounds[first];
+            let (lo, hi) = data.split_at_mut(split);
+            pool.join(
+                || go(pool, first, left, lo, bounds, f),
+                || go(pool, first + left, count - left, hi, bounds, f),
+            );
+        }
+        let count = bounds.len() - 1;
+        if count == 0 {
+            return;
+        }
+        go(self, 0, count, data, bounds, &f);
+    }
+}
+
+/// Balanced block boundaries: `bounds[c] = c·len/chunks`, so the `chunks`
+/// blocks cover `0..len` with sizes differing by at most one and — because
+/// [`PalPool::chunk_count`] guarantees `chunks <= len` — every block
+/// non-empty.  The block count (and hence a primitive's fork count) is
+/// therefore exactly [`PalPool::chunk_count`]`(len)`.
+fn balanced_bounds(len: usize, chunks: usize) -> Vec<usize> {
+    (0..=chunks).map(|c| c * len / chunks).collect()
+}
+
+/// Boundaries for a one-slot-per-block array (`sums`, `counts`, per-block
+/// partials): block `c` owns exactly element `c`.
+fn unit_bounds(chunks: usize) -> Vec<usize> {
+    (0..=chunks).collect()
+}
+
+/// Exclusive prefix sums of `counts` with the grand total appended, i.e.
+/// block boundaries for blocked writes into disjoint output regions.
+fn exclusive_bounds(counts: &[usize]) -> Vec<usize> {
+    let mut bounds = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0usize;
+    for &c in counts {
+        bounds.push(acc);
+        acc += c;
+    }
+    bounds.push(acc);
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::assert_metrics_consistent;
+
+    fn seq_exclusive_scan(input: &[i64]) -> (Vec<i64>, i64) {
+        let mut acc = 0;
+        let prefix = input
+            .iter()
+            .map(|x| {
+                let before = acc;
+                acc += x;
+                before
+            })
+            .collect();
+        (prefix, acc)
+    }
+
+    #[test]
+    fn scan_matches_sequential_for_all_p() {
+        let input: Vec<i64> = (0..1000).map(|i| (i * 37) % 101 - 50).collect();
+        let (expected, expected_total) = seq_exclusive_scan(&input);
+        for p in [1, 2, 4] {
+            let pool = PalPool::new(p).unwrap();
+            let scan = pool.scan(&input, 0i64, |a, b| a + b);
+            assert_eq!(scan.exclusive, expected, "p = {p}");
+            assert_eq!(scan.total, expected_total, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn scan_handles_empty_and_tiny_inputs() {
+        let pool = PalPool::new(4).unwrap();
+        let empty = pool.scan(&[] as &[i64], 7, |a, b| a + b);
+        assert!(empty.exclusive.is_empty());
+        assert_eq!(empty.total, 7);
+
+        let one = pool.scan(&[5i64], 0, |a, b| a + b);
+        assert_eq!(one.exclusive, vec![0]);
+        assert_eq!(one.total, 5);
+    }
+
+    #[test]
+    fn scan_with_max_operator() {
+        // A non-sum associative operator: running maximum.
+        let input = [3i64, 1, 4, 1, 5, 9, 2, 6];
+        let pool = PalPool::new(2).unwrap();
+        let scan = pool.scan(&input, i64::MIN, |a, b| *a.max(b));
+        assert_eq!(scan.exclusive, vec![i64::MIN, 3, 3, 4, 4, 5, 9, 9]);
+        assert_eq!(scan.total, 9);
+    }
+
+    #[test]
+    fn scan_forks_are_fully_accounted() {
+        let input: Vec<u64> = (0..4096).collect();
+        for p in [1usize, 2, 4] {
+            let pool = PalPool::new(p).unwrap();
+            let chunks = pool.chunk_count(input.len()) as u64;
+            pool.scan(&input, 0u64, |a, b| a + b);
+            assert_metrics_consistent(pool.metrics(), 2 * (chunks - 1));
+        }
+    }
+
+    #[test]
+    fn pack_matches_sequential_filter() {
+        let input: Vec<i64> = (0..777).map(|i| (i * 31) % 97).collect();
+        let expected: Vec<i64> = input.iter().copied().filter(|x| x % 3 == 0).collect();
+        for p in [1, 2, 4] {
+            let pool = PalPool::new(p).unwrap();
+            assert_eq!(pool.pack(&input, |_, x| x % 3 == 0), expected, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn pack_predicate_sees_original_indices() {
+        let input = vec![10u64; 100];
+        let pool = PalPool::new(4).unwrap();
+        let kept = pool.pack(&input, |i, _| i % 7 == 0);
+        assert_eq!(kept.len(), 15);
+    }
+
+    #[test]
+    fn pack_keep_all_and_keep_none() {
+        let input: Vec<u32> = (0..257).collect();
+        let pool = PalPool::new(4).unwrap();
+        assert_eq!(pool.pack(&input, |_, _| true), input);
+        assert!(pool.pack(&input, |_, _| false).is_empty());
+        assert!(pool.pack(&[] as &[u32], |_, _| true).is_empty());
+    }
+
+    #[test]
+    fn pack_forks_are_fully_accounted() {
+        let input: Vec<u32> = (0..513).collect();
+        let pool = PalPool::new(2).unwrap();
+        let chunks = pool.chunk_count(input.len()) as u64;
+        pool.pack(&input, |_, x| x % 2 == 0);
+        assert_metrics_consistent(pool.metrics(), 2 * (chunks - 1));
+    }
+
+    #[test]
+    fn expand_writes_each_region_once() {
+        let sizes = [3usize, 0, 2, 5, 0, 1];
+        let pool = PalPool::new(2).unwrap();
+        let out = pool.expand(&sizes, usize::MAX, |i, region| {
+            for (k, slot) in region.iter_mut().enumerate() {
+                *slot = i * 10 + k;
+            }
+        });
+        assert_eq!(out, vec![0, 1, 2, 20, 21, 30, 31, 32, 33, 34, 50]);
+    }
+
+    #[test]
+    fn expand_keeps_fill_in_untouched_slots() {
+        let sizes = [2usize, 2];
+        let pool = PalPool::new(2).unwrap();
+        // Only write the first slot of each region.
+        let out = pool.expand(&sizes, 9u8, |i, region| region[0] = i as u8);
+        assert_eq!(out, vec![0, 9, 1, 9]);
+    }
+
+    #[test]
+    fn map_collect_matches_direct_map() {
+        for p in [1, 2, 4] {
+            let pool = PalPool::new(p).unwrap();
+            let out = pool.map_collect(10..500, |i| i * i);
+            let expected: Vec<usize> = (10..500).map(|i| i * i).collect();
+            assert_eq!(out, expected, "p = {p}");
+        }
+        let pool = PalPool::new(2).unwrap();
+        assert!(pool.map_collect(5..5, |i| i).is_empty());
+    }
+
+    #[test]
+    fn reduce_by_index_builds_histograms() {
+        // Histogram of i % 5 over 0..1000: 200 in each bucket.
+        for p in [1, 2, 4] {
+            let pool = PalPool::new(p).unwrap();
+            let hist = pool.reduce_by_index(0..1000, 5, 0u64, |i| (i % 5, 1), |a, b| a + b);
+            assert_eq!(hist, vec![200; 5], "p = {p}");
+        }
+    }
+
+    #[test]
+    fn reduce_by_index_empty_range_and_zero_buckets() {
+        let pool = PalPool::new(2).unwrap();
+        assert_eq!(
+            pool.reduce_by_index(3..3, 4, 0u64, |_| (0, 1), |a, b| a + b),
+            vec![0; 4]
+        );
+        assert!(pool
+            .reduce_by_index(0..10, 0, 0u64, |_| (0, 1), |a, b| a + b)
+            .is_empty());
+    }
+
+    #[test]
+    fn reduce_by_index_rejects_out_of_range_buckets() {
+        let pool = PalPool::new(1).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.reduce_by_index(0..10, 2, 0u64, |i| (i, 1), |a, b| a + b)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn primitives_inherit_the_cutoff_on_p1_pools() {
+        // On p = 1 the cutoff depth is 0: every fork of every primitive is
+        // elided — no scheduler job at all — yet results stay exact.
+        let pool = PalPool::new(1).unwrap();
+        let input: Vec<u64> = (0..2000).collect();
+        let scan = pool.scan(&input, 0, |a, b| a + b);
+        assert_eq!(scan.total, 1999 * 2000 / 2);
+        let m = pool.metrics();
+        assert_eq!(m.spawned(), 0);
+        assert_eq!(m.inlined(), 0);
+        assert!(m.elided() > 0);
+    }
+}

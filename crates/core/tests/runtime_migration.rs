@@ -11,7 +11,7 @@ use std::sync::Mutex;
 use std::thread::{self, ThreadId};
 use std::time::{Duration, Instant};
 
-use lopram_core::PalPool;
+use lopram_core::{assert_metrics_consistent, PalPool};
 
 /// Iteration count for the repeated tests, overridable via
 /// `LOPRAM_TEST_REPEAT` (the CI `runtime-stress` job raises it).
@@ -88,6 +88,9 @@ fn freed_processor_picks_up_pending_pal_thread() {
             "migration must be visible in RunMetrics::steals (got {})",
             m.steals()
         );
+        // Two joins ran (outer + inner), each forking once — and a stolen
+        // fork is still a granted fork, so the accounting stays exact.
+        assert_metrics_consistent(m, 2);
     }
 }
 
@@ -127,9 +130,13 @@ fn mergesort_records_spawned_and_inlined() {
 
     let pool = PalPool::new(4).unwrap();
     let n = 1 << 17;
+    // One sort subdivides 2^17 keys down to 32-key leaves: 4096 leaves,
+    // hence exactly 4095 joins — a schedule-independent count the
+    // accounting must reproduce exactly, however the forks were resolved.
+    let forks_per_sort = (n / 32 - 1) as u64;
     // A few attempts absorb scheduling noise on the single-core CI host;
     // one run of 4095 forks against three hungry workers is normally enough.
-    for attempt in 0..3 {
+    for attempt in 0..3u64 {
         let mut data: Vec<i64> = (0..n as i64)
             .map(|x| (x * 2_654_435_761) % 1_000_003)
             .collect();
@@ -137,6 +144,7 @@ fn mergesort_records_spawned_and_inlined() {
         merge_sort(&pool, &mut data, &mut scratch);
         assert!(data.windows(2).all(|w| w[0] <= w[1]), "sort is correct");
         let m = pool.metrics();
+        assert_metrics_consistent(m, (attempt + 1) * forks_per_sort);
         if m.spawned() > 0 && m.inlined() > 0 {
             return;
         }

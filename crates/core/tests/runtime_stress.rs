@@ -8,7 +8,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use lopram_core::{PalPool, ThrottledPool};
+use lopram_core::{assert_metrics_consistent, PalPool, ThrottledPool};
 
 fn repeat(default: usize) -> usize {
     std::env::var("LOPRAM_TEST_REPEAT")
@@ -37,10 +37,7 @@ fn nested_join_stress() {
     // Every fork is accounted exactly once: fib(12) forks fib(n>=2) calls,
     // i.e. 232 joins per iteration — scheduled (spawned/inlined) above the
     // α·log p cutoff depth, elided below it.
-    assert_eq!(
-        m.spawned() + m.inlined() + m.elided(),
-        232 * repeat(100) as u64
-    );
+    assert_metrics_consistent(m, 232 * repeat(100) as u64);
     assert!(
         m.elided() > 0,
         "fib(12) on p = 4 recurses past the cutoff depth of {:?}",
@@ -128,12 +125,113 @@ fn concurrent_metrics_reads_are_safe() {
                 }
             });
         }
-        for _ in 0..repeat(100) / 4 {
+        for _ in 0..repeat(100).div_ceil(4) {
             assert_eq!(fib(&pool, 8), 21);
         }
     });
     let m = pool.metrics();
     assert!(m.spawned() + m.inlined() > 0);
+}
+
+/// Several observer threads drive blocked scans through *one shared pool*
+/// concurrently: the primitives keep per-call state on the stack and in
+/// call-local buffers, so interleaved scans must neither corrupt each
+/// other's prefixes nor wedge the pool.
+#[test]
+fn concurrent_scans_share_one_pool() {
+    let pool = PalPool::new(2).unwrap();
+    let input: Vec<u64> = (0..2048).collect();
+    let expected_total: u64 = input.iter().sum();
+    std::thread::scope(|s| {
+        for t in 0..3 {
+            let pool = &pool;
+            let input = &input;
+            s.spawn(move || {
+                for i in 0..repeat(100).div_ceil(2) {
+                    let scan = pool.scan(input, 0u64, |a, b| a + b);
+                    assert_eq!(scan.total, expected_total, "thread {t}, iteration {i}");
+                    assert_eq!(scan.exclusive[1], 0, "thread {t}, iteration {i}");
+                    assert_eq!(
+                        scan.exclusive[2047],
+                        expected_total - 2047,
+                        "thread {t}, iteration {i}"
+                    );
+                }
+            });
+        }
+    });
+    // The counters raced with each other but the invariant must hold.
+    let m = pool.metrics();
+    assert!(m.steals() <= m.spawned());
+}
+
+/// Concurrent packs and reductions on one shared pool, mixed with joins —
+/// the pattern graph kernels produce when several workloads share a
+/// processor pool.
+#[test]
+fn concurrent_mixed_primitives_share_one_pool() {
+    let pool = PalPool::new(3).unwrap();
+    let input: Vec<u64> = (0..1024).collect();
+    std::thread::scope(|s| {
+        let pool = &pool;
+        let input = &input;
+        s.spawn(move || {
+            for i in 0..repeat(100).div_ceil(4) {
+                let kept = pool.pack(input, |_, x| x % 3 == 0);
+                assert_eq!(kept.len(), 342, "iteration {i}");
+            }
+        });
+        s.spawn(move || {
+            for i in 0..repeat(100).div_ceil(4) {
+                let hist = pool.reduce_by_index(0..1024, 4, 0u64, |v| (v % 4, 1), |a, b| a + b);
+                assert_eq!(hist, vec![256; 4], "iteration {i}");
+            }
+        });
+        for i in 0..repeat(100).div_ceil(4) {
+            assert_eq!(fib(pool, 10), 55, "iteration {i}");
+        }
+    });
+}
+
+/// A panic inside a primitive's map/predicate unwinds out of the primitive
+/// and leaves the pool fully reusable — no lost workers, no stuck blocks,
+/// no poisoned deques — matching the `join` panic contract the primitives
+/// are built on.
+#[test]
+fn panic_in_primitive_map_leaves_pool_reusable() {
+    let pool = PalPool::new(2).unwrap();
+    let input: Vec<u64> = (0..512).collect();
+    let expected_total: u64 = input.iter().sum();
+    for i in 0..repeat(100).div_ceil(2) {
+        // Rotate the poisoned element through different blocks, and the
+        // panic through all three primitive shapes.
+        let bad = (i * 97) % 512;
+        let result = catch_unwind(AssertUnwindSafe(|| match i % 3 {
+            0 => {
+                pool.scan(&input, 0u64, |a, b| {
+                    assert!(*b != bad as u64, "poisoned scan element");
+                    a + b
+                });
+            }
+            1 => {
+                pool.pack(&input, |j, _| {
+                    assert!(j != bad, "poisoned pack element");
+                    true
+                });
+            }
+            _ => {
+                pool.map_collect(0..512, |j| {
+                    assert!(j != bad, "poisoned map element");
+                    j
+                });
+            }
+        }));
+        assert!(result.is_err(), "iteration {i}: panic must propagate");
+        // The pool keeps answering exactly after every unwind.
+        let scan = pool.scan(&input, 0u64, |a, b| a + b);
+        assert_eq!(scan.total, expected_total, "iteration {i}");
+        assert_eq!(fib(&pool, 8), 21, "iteration {i}");
+    }
 }
 
 /// Both runtimes agree with the sequential result under repeated

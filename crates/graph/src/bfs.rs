@@ -1,0 +1,151 @@
+//! Breadth-first search: level-synchronous frontier BFS on the pal-thread
+//! runtime, with a sequential twin.
+//!
+//! The parallel algorithm is the classic scan/pack formulation (Blelloch;
+//! Tithi et al.'s level-synchronous BFS with optimal prefix-sum; GBBS's
+//! `edgeMap`): per level, the frontier's degrees are prefix-summed with
+//! [`PalPool::scan`] (inside [`PalPool::expand`]) to give every frontier
+//! vertex its own region of the candidate buffer, candidates are claimed
+//! with a compare-and-swap on the distance array, and the claimed
+//! candidates are compacted into the next frontier with
+//! [`PalPool::pack`].  All parallelism flows through `PalPool::join`, so
+//! the kernel inherits the `⌈α·log₂ p⌉` sequential cutoff and full
+//! `RunMetrics` fork accounting.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use lopram_core::PalPool;
+
+use crate::csr::CsrGraph;
+
+/// Distance label of a vertex no BFS level reached.
+pub const UNREACHED: usize = usize::MAX;
+
+/// Sequential BFS distances from `src` (`UNREACHED` for vertices in other
+/// components) — the differential twin of [`bfs_par`].
+///
+/// # Panics
+///
+/// Panics if `src` is not a vertex of `graph`.
+pub fn bfs_seq(graph: &CsrGraph, src: usize) -> Vec<usize> {
+    assert!(src < graph.vertices(), "source {src} out of range");
+    let mut dist = vec![UNREACHED; graph.vertices()];
+    dist[src] = 0;
+    let mut queue = VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        for &v in graph.neighbors(u) {
+            if dist[v] == UNREACHED {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Level-synchronous parallel BFS distances from `src`; identical output to
+/// [`bfs_seq`] for every processor count.
+///
+/// Per level: one [`map_collect`](PalPool::map_collect) (frontier degrees),
+/// one [`expand`](PalPool::expand) (scan the degrees, then gather-and-claim
+/// neighbour candidates — duplicates are resolved by a compare-and-swap on
+/// the distance array, so each vertex enters exactly one frontier), one
+/// [`pack`](PalPool::pack) (compact the claimed candidates).  The set of
+/// vertices per level is deterministic — distances are the level number —
+/// even though which parent claims a shared candidate is not.
+///
+/// # Panics
+///
+/// Panics if `src` is not a vertex of `graph`.
+pub fn bfs_par(graph: &CsrGraph, pool: &PalPool, src: usize) -> Vec<usize> {
+    assert!(src < graph.vertices(), "source {src} out of range");
+    let dist: Vec<AtomicUsize> = (0..graph.vertices())
+        .map(|_| AtomicUsize::new(UNREACHED))
+        .collect();
+    dist[src].store(0, Ordering::Relaxed);
+
+    let mut frontier = vec![src];
+    let mut level = 0usize;
+    while !frontier.is_empty() {
+        level += 1;
+        let frontier_ref = &frontier;
+        let degrees = pool.map_collect(0..frontier.len(), |i| graph.degree(frontier_ref[i]));
+        let candidates = pool.expand(&degrees, UNREACHED, |i, region| {
+            for (slot, &v) in region.iter_mut().zip(graph.neighbors(frontier_ref[i])) {
+                let claimed = dist[v]
+                    .compare_exchange(UNREACHED, level, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok();
+                *slot = if claimed { v } else { UNREACHED };
+            }
+        });
+        frontier = pool.pack(&candidates, |_, &v| v != UNREACHED);
+    }
+    dist.into_iter().map(AtomicUsize::into_inner).collect()
+}
+
+/// Eccentricity of `src` (the number of BFS levels): the largest finite
+/// distance in `distances`, or 0 when only `src` is reachable.
+pub fn levels(distances: &[usize]) -> usize {
+    distances
+        .iter()
+        .copied()
+        .filter(|&d| d != UNREACHED)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn grid_distances_are_manhattan() {
+        let g = gen::grid(5, 7);
+        let d = bfs_seq(&g, 0);
+        for r in 0..5 {
+            for c in 0..7 {
+                assert_eq!(d[r * 7 + c], r + c);
+            }
+        }
+        assert_eq!(levels(&d), 5 + 7 - 2);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_every_shape() {
+        let shapes = [
+            gen::gnm(300, 900, 11),
+            gen::grid(12, 25),
+            gen::star(257),
+            gen::path(301),
+            gen::binary_tree(511),
+        ];
+        for p in [1, 2, 4] {
+            let pool = PalPool::new(p).unwrap();
+            for (k, g) in shapes.iter().enumerate() {
+                assert_eq!(
+                    bfs_par(g, &pool, 0),
+                    bfs_seq(g, 0),
+                    "shape {k} diverged at p = {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_unreached() {
+        let g = CsrGraph::from_undirected_edges(5, &[(0, 1), (3, 4)]);
+        let pool = PalPool::new(2).unwrap();
+        let d = bfs_par(&g, &pool, 0);
+        assert_eq!(d, vec![0, 1, UNREACHED, UNREACHED, UNREACHED]);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = CsrGraph::from_undirected_edges(1, &[]);
+        let pool = PalPool::new(2).unwrap();
+        assert_eq!(bfs_par(&g, &pool, 0), vec![0]);
+        assert_eq!(levels(&[0]), 0);
+    }
+}

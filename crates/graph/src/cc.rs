@@ -1,0 +1,192 @@
+//! Connected components: parallel label propagation and tree hooking, with
+//! a sequential twin.
+//!
+//! All three algorithms label every vertex with the **minimum vertex id of
+//! its component**, so differential tests can compare outputs directly —
+//! no relabelling needed (the property suite still checks equality up to
+//! relabelling, which is what the algorithms guarantee in general).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use lopram_core::PalPool;
+
+use crate::csr::CsrGraph;
+
+/// Sequential connected components: `labels[v]` is the smallest vertex id
+/// in `v`'s component — the differential twin of the parallel variants.
+pub fn components_seq(graph: &CsrGraph) -> Vec<usize> {
+    let n = graph.vertices();
+    let mut labels = vec![usize::MAX; n];
+    let mut stack = Vec::new();
+    for root in 0..n {
+        if labels[root] != usize::MAX {
+            continue;
+        }
+        // Vertices are visited in increasing id order, so `root` is the
+        // minimum of its component.
+        labels[root] = root;
+        stack.push(root);
+        while let Some(u) = stack.pop() {
+            for &v in graph.neighbors(u) {
+                if labels[v] == usize::MAX {
+                    labels[v] = root;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    labels
+}
+
+/// Parallel label propagation: every vertex repeatedly lowers its label to
+/// the minimum over its neighbourhood (`fetch_min`) until a fixpoint.
+///
+/// Labels only ever decrease and every component's minimum id is a fixed
+/// point, so the algorithm converges to exactly [`components_seq`]'s
+/// labelling in at most *diameter* rounds, independent of the schedule.
+pub fn components_label_prop(graph: &CsrGraph, pool: &PalPool) -> Vec<usize> {
+    let n = graph.vertices();
+    let labels: Vec<AtomicUsize> = (0..n).map(AtomicUsize::new).collect();
+    loop {
+        let changed = AtomicBool::new(false);
+        pool.for_each_index(0..n, |u| {
+            let mut best = labels[u].load(Ordering::Relaxed);
+            for &v in graph.neighbors(u) {
+                best = best.min(labels[v].load(Ordering::Relaxed));
+            }
+            if labels[u].fetch_min(best, Ordering::AcqRel) > best {
+                changed.store(true, Ordering::Release);
+            }
+        });
+        if !changed.load(Ordering::Acquire) {
+            break;
+        }
+    }
+    labels.into_iter().map(AtomicUsize::into_inner).collect()
+}
+
+/// Follow `parent` pointers from `v` to the current root (the fixed point
+/// `parent[r] == r`).  Terminates because parents strictly decrease along
+/// the chain.
+fn chase(parent: &[AtomicUsize], mut v: usize) -> usize {
+    loop {
+        let p = parent[v].load(Ordering::Acquire);
+        if p == v {
+            return v;
+        }
+        v = p;
+    }
+}
+
+/// Parallel tree hooking (Shiloach–Vishkin style): components are merged
+/// by hooking the larger root under the smaller (`fetch_min` on the parent
+/// array — parents only decrease, so no cycles can form), then flattened
+/// by pointer jumping, until no edge crosses two trees.
+///
+/// Converges to the same minimum-id labelling as [`components_seq`]: the
+/// only root left per component is its minimum vertex id.
+pub fn components_hook(graph: &CsrGraph, pool: &PalPool) -> Vec<usize> {
+    let n = graph.vertices();
+    let parent: Vec<AtomicUsize> = (0..n).map(AtomicUsize::new).collect();
+    loop {
+        // Hook: merge the two trees of every cross-tree edge, smaller root
+        // winning.
+        let hooked = AtomicBool::new(false);
+        pool.for_each_index(0..n, |u| {
+            // Parents only decrease, so u's previously-found root stays on
+            // u's chain: re-chase from it instead of from u every edge —
+            // high-degree hubs would otherwise re-walk the whole chain
+            // once per neighbour.
+            let mut ru = u;
+            for &v in graph.neighbors(u) {
+                ru = chase(&parent, ru);
+                let rv = chase(&parent, v);
+                if ru != rv {
+                    let (lo, hi) = (ru.min(rv), ru.max(rv));
+                    parent[hi].fetch_min(lo, Ordering::AcqRel);
+                    hooked.store(true, Ordering::Release);
+                }
+            }
+        });
+
+        // Compress: pointer-jump every vertex to its grandparent until the
+        // forest is a set of stars.
+        loop {
+            let jumped = AtomicBool::new(false);
+            pool.for_each_index(0..n, |v| {
+                let p = parent[v].load(Ordering::Acquire);
+                let gp = parent[p].load(Ordering::Acquire);
+                if gp < p && parent[v].fetch_min(gp, Ordering::AcqRel) > gp {
+                    jumped.store(true, Ordering::Release);
+                }
+            });
+            if !jumped.load(Ordering::Acquire) {
+                break;
+            }
+        }
+
+        if !hooked.load(Ordering::Acquire) {
+            return parent.into_iter().map(AtomicUsize::into_inner).collect();
+        }
+    }
+}
+
+/// Number of distinct components in a labelling (counts distinct label
+/// values, so it works for any labelling — not just the min-id one the
+/// algorithms in this module produce).
+pub fn component_count(labels: &[usize]) -> usize {
+    let mut seen = std::collections::HashSet::with_capacity(labels.len());
+    labels.iter().filter(|&&l| seen.insert(l)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn seq_labels_are_component_minima() {
+        // Two components: {0, 1, 2} and {3, 4}.
+        let g = CsrGraph::from_undirected_edges(5, &[(1, 2), (0, 2), (4, 3)]);
+        assert_eq!(components_seq(&g), vec![0, 0, 0, 3, 3]);
+        assert_eq!(component_count(&components_seq(&g)), 2);
+    }
+
+    #[test]
+    fn parallel_variants_match_sequential() {
+        let shapes = [
+            gen::gnm(200, 220, 5), // sparse: many components
+            gen::gnm(200, 800, 6), // dense: usually one giant component
+            gen::grid(9, 13),
+            gen::star(100),
+            gen::path(173),
+            gen::binary_tree(255),
+            CsrGraph::from_undirected_edges(64, &[]), // 64 singletons
+        ];
+        for p in [1, 2, 4] {
+            let pool = PalPool::new(p).unwrap();
+            for (k, g) in shapes.iter().enumerate() {
+                let expected = components_seq(g);
+                assert_eq!(
+                    components_label_prop(g, &pool),
+                    expected,
+                    "label propagation diverged on shape {k} at p = {p}"
+                );
+                assert_eq!(
+                    components_hook(g, &pool),
+                    expected,
+                    "tree hooking diverged on shape {k} at p = {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = CsrGraph::from_undirected_edges(0, &[]);
+        let pool = PalPool::new(2).unwrap();
+        assert!(components_seq(&g).is_empty());
+        assert!(components_label_prop(&g, &pool).is_empty());
+        assert!(components_hook(&g, &pool).is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Deterministic graph generators.
+//!
+//! Every generator is seeded (or shape-determined) and produces the same
+//! [`CsrGraph`] on every run, so the differential suite and the
+//! `table_graph_speedup` experiment can compare parallel and sequential
+//! kernels on identical inputs across processor counts.
+
+use rand::prelude::*;
+
+use crate::csr::CsrGraph;
+
+/// Erdős–Rényi-style `G(n, m)`: `m` edges drawn uniformly (with
+/// replacement) over vertex pairs, seeded; self-loops and duplicates are
+/// collapsed by CSR construction, so the realised edge count can be lower.
+///
+/// Returns the edgeless graph on `n` vertices when `n < 2`.
+pub fn gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    if n < 2 {
+        return CsrGraph::from_undirected_edges(n, &[]);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges: Vec<(usize, usize)> = (0..m)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
+    CsrGraph::from_undirected_edges(n, &edges)
+}
+
+/// A `rows × cols` 4-neighbour lattice — the diameter-heavy regular shape
+/// (BFS runs `rows + cols − 2` levels, so the frontier loop dominates).
+pub fn grid(rows: usize, cols: usize) -> CsrGraph {
+    let at = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((at(r, c), at(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((at(r, c), at(r + 1, c)));
+            }
+        }
+    }
+    CsrGraph::from_undirected_edges(rows * cols, &edges)
+}
+
+/// A star: vertex 0 joined to every other vertex — maximal degree skew
+/// (one frontier of size `n − 1`), the worst case for block balance.
+pub fn star(n: usize) -> CsrGraph {
+    let edges: Vec<(usize, usize)> = (1..n).map(|v| (0, v)).collect();
+    CsrGraph::from_undirected_edges(n, &edges)
+}
+
+/// A path `0 − 1 − ⋯ − (n − 1)` — the no-parallelism extreme: every BFS
+/// frontier has exactly one vertex, the graph analogue of the paper's
+/// one-dimensional chain DP.
+pub fn path(n: usize) -> CsrGraph {
+    let edges: Vec<(usize, usize)> = (1..n).map(|v| (v - 1, v)).collect();
+    CsrGraph::from_undirected_edges(n, &edges)
+}
+
+/// A complete binary tree on `n` vertices (vertex `v`'s children are
+/// `2v + 1` and `2v + 2`) — the shape of the paper's own Figure 1/2
+/// recursion trees, with frontiers doubling per level.
+pub fn binary_tree(n: usize) -> CsrGraph {
+    let mut edges = Vec::new();
+    for v in 0..n {
+        for child in [2 * v + 1, 2 * v + 2] {
+            if child < n {
+                edges.push((v, child));
+            }
+        }
+    }
+    CsrGraph::from_undirected_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_is_deterministic_per_seed() {
+        assert_eq!(gnm(64, 256, 7), gnm(64, 256, 7));
+        assert_ne!(gnm(64, 256, 7), gnm(64, 256, 8));
+        assert_eq!(gnm(1, 10, 3).arcs(), 0);
+    }
+
+    #[test]
+    fn grid_has_lattice_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.vertices(), 12);
+        // 3·(4−1) horizontal + (3−1)·4 vertical edges.
+        assert_eq!(g.edges(), 9 + 8);
+        // A corner has degree 2, an interior vertex degree 4.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(5), 4);
+    }
+
+    #[test]
+    fn star_path_tree_shapes() {
+        let s = star(10);
+        assert_eq!(s.degree(0), 9);
+        assert!((1..10).all(|v| s.degree(v) == 1));
+
+        let p = path(5);
+        assert_eq!(p.edges(), 4);
+        assert_eq!(p.neighbors(2), &[1, 3]);
+
+        let t = binary_tree(7);
+        assert_eq!(t.edges(), 6);
+        assert_eq!(t.neighbors(0), &[1, 2]);
+        assert_eq!(t.neighbors(1), &[0, 3, 4]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Counting kernels: degree histogram and triangle count, each with a
+//! sequential twin.
+
+use lopram_core::PalPool;
+
+use crate::csr::CsrGraph;
+
+/// Sequential degree histogram: `hist[d]` is the number of vertices of
+/// degree `d`; `hist.len() == max_degree + 1` (empty for the empty graph).
+pub fn degree_histogram_seq(graph: &CsrGraph) -> Vec<u64> {
+    if graph.vertices() == 0 {
+        return Vec::new();
+    }
+    let mut hist = vec![0u64; graph.max_degree() + 1];
+    for v in 0..graph.vertices() {
+        hist[graph.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Parallel degree histogram via
+/// [`reduce_by_index`](PalPool::reduce_by_index): every vertex contributes
+/// `1` to the bucket of its degree; identical output to
+/// [`degree_histogram_seq`].
+pub fn degree_histogram(graph: &CsrGraph, pool: &PalPool) -> Vec<u64> {
+    if graph.vertices() == 0 {
+        return Vec::new();
+    }
+    pool.reduce_by_index(
+        0..graph.vertices(),
+        graph.max_degree() + 1,
+        0u64,
+        |v| (graph.degree(v), 1),
+        |a, b| a + b,
+    )
+}
+
+/// Triangles incident to `u` whose vertices are ordered `u < v < w` — the
+/// per-vertex work item of both triangle counters.  Relies on the CSR
+/// adjacency slices being sorted (merge-style intersection).
+fn triangles_above(graph: &CsrGraph, u: usize) -> u64 {
+    let nu = graph.neighbors(u);
+    let mut count = 0u64;
+    for &v in nu.iter().filter(|&&v| v > u) {
+        let nv = graph.neighbors(v);
+        // Count w > v present in both sorted lists, entering each list
+        // just past v (binary search) so a high-degree hub — a star's
+        // centre — costs O(log deg) per low-degree partner instead of a
+        // full merge restart.
+        let mut i = nu.partition_point(|&w| w <= v);
+        let mut j = nv.partition_point(|&w| w <= v);
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+            }
+        }
+    }
+    count
+}
+
+/// Sequential triangle count (each triangle counted once) — the
+/// differential twin of [`triangle_count`].
+pub fn triangle_count_seq(graph: &CsrGraph) -> u64 {
+    (0..graph.vertices())
+        .map(|u| triangles_above(graph, u))
+        .sum()
+}
+
+/// Parallel triangle count via [`map_reduce`](PalPool::map_reduce) over
+/// the ordered per-vertex counts; identical output to
+/// [`triangle_count_seq`].
+pub fn triangle_count(graph: &CsrGraph, pool: &PalPool) -> u64 {
+    pool.map_reduce(
+        0..graph.vertices(),
+        0u64,
+        |u| triangles_above(graph, u),
+        |a, b| a + b,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn histogram_of_star_and_grid() {
+        let s = gen::star(10);
+        let hist = degree_histogram_seq(&s);
+        // Nine leaves of degree 1, one hub of degree 9.
+        assert_eq!(hist[1], 9);
+        assert_eq!(hist[9], 1);
+        assert_eq!(hist.iter().sum::<u64>(), 10);
+
+        let g = gen::grid(4, 4);
+        let hist = degree_histogram_seq(&g);
+        assert_eq!(hist[2], 4); // corners
+        assert_eq!(hist[3], 8); // edge-interior
+        assert_eq!(hist[4], 4); // interior
+    }
+
+    #[test]
+    fn parallel_kernels_match_sequential() {
+        let shapes = [
+            gen::gnm(150, 1200, 13),
+            gen::grid(10, 10),
+            gen::star(64),
+            gen::binary_tree(127),
+        ];
+        for p in [1, 2, 4] {
+            let pool = PalPool::new(p).unwrap();
+            for (k, g) in shapes.iter().enumerate() {
+                assert_eq!(
+                    degree_histogram(g, &pool),
+                    degree_histogram_seq(g),
+                    "histogram diverged on shape {k} at p = {p}"
+                );
+                assert_eq!(
+                    triangle_count(g, &pool),
+                    triangle_count_seq(g),
+                    "triangles diverged on shape {k} at p = {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_count_on_known_graphs() {
+        // K4 has exactly 4 triangles.
+        let k4 = crate::csr::CsrGraph::from_undirected_edges(
+            4,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        );
+        assert_eq!(triangle_count_seq(&k4), 4);
+
+        // Trees and grids are triangle-free.
+        assert_eq!(triangle_count_seq(&gen::binary_tree(63)), 0);
+        assert_eq!(triangle_count_seq(&gen::grid(6, 6)), 0);
+
+        // A triangle with a pendant vertex.
+        let g = crate::csr::CsrGraph::from_undirected_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(triangle_count_seq(&g), 1);
+        let pool = PalPool::new(3).unwrap();
+        assert_eq!(triangle_count(&g, &pool), 1);
+    }
+
+    #[test]
+    fn empty_graph_kernels() {
+        let g = crate::csr::CsrGraph::from_undirected_edges(0, &[]);
+        let pool = PalPool::new(2).unwrap();
+        assert!(degree_histogram(&g, &pool).is_empty());
+        assert!(degree_histogram_seq(&g).is_empty());
+        assert_eq!(triangle_count(&g, &pool), 0);
+    }
+}

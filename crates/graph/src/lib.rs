@@ -1,0 +1,58 @@
+//! # lopram-graph
+//!
+//! Irregular graph workloads for the LoPRAM reproduction.
+//!
+//! The paper's thesis is that `p = O(log n)` pal-threads suffice for
+//! optimal speedup on divide-and-conquer and dynamic-programming
+//! workloads.  This crate stresses the runtime with the *irregular* third
+//! family: graph algorithms, which — as Dhulipala, Blelloch and Shun's
+//! GBBS and Tithi et al.'s level-synchronous BFS demonstrate — reduce to
+//! exactly two data-parallel primitives, **scan** (prefix sum) and
+//! **pack** (filter/compaction).  Those primitives live in `lopram-core`
+//! ([`PalPool::scan`](lopram_core::PalPool::scan),
+//! [`PalPool::pack`](lopram_core::PalPool::pack)) and are built on
+//! `PalPool::join`, so every kernel here inherits the `⌈α·log₂ p⌉`
+//! sequential cutoff of §3.1/Figure 2 and full `RunMetrics` fork
+//! accounting.
+//!
+//! Contents:
+//!
+//! * [`csr`] — undirected compressed-sparse-row graphs;
+//! * [`gen`] — deterministic generators: seeded `G(n, m)`, grid, star,
+//!   path, complete binary tree;
+//! * [`bfs`] — level-synchronous frontier BFS ([`bfs::bfs_par`]) and its
+//!   sequential twin ([`bfs::bfs_seq`]);
+//! * [`cc`] — connected components by parallel label propagation
+//!   ([`cc::components_label_prop`]) and tree hooking
+//!   ([`cc::components_hook`]), twin [`cc::components_seq`];
+//! * [`kernels`] — degree histogram (via
+//!   [`reduce_by_index`](lopram_core::PalPool::reduce_by_index)) and
+//!   ordered triangle count, with twins.
+//!
+//! Every parallel kernel has a sequential twin producing bit-identical
+//! output for any processor count; `tests/differential.rs` checks that
+//! property over random graphs at `p ∈ {1, 2, 4}`, and the
+//! `table_graph_speedup` experiment in `lopram-bench` measures the
+//! speedups.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bfs;
+pub mod cc;
+pub mod csr;
+pub mod gen;
+pub mod kernels;
+
+pub use csr::CsrGraph;
+
+/// Convenience prelude re-exporting the items most users need.
+pub mod prelude {
+    pub use crate::bfs::{bfs_par, bfs_seq, levels, UNREACHED};
+    pub use crate::cc::{component_count, components_hook, components_label_prop, components_seq};
+    pub use crate::csr::CsrGraph;
+    pub use crate::gen::{binary_tree, gnm, grid, path, star};
+    pub use crate::kernels::{
+        degree_histogram, degree_histogram_seq, triangle_count, triangle_count_seq,
+    };
+}

@@ -16,7 +16,14 @@
 //! * [`dnc`](lopram_dnc) — the divide-and-conquer framework and algorithm
 //!   suite (§4.1);
 //! * [`dp`](lopram_dp) — the dynamic-programming framework, Algorithm 1
-//!   scheduler, wavefront executor and parallel memoization (§4.2–4.6).
+//!   scheduler, wavefront executor and parallel memoization (§4.2–4.6);
+//! * [`graph`](lopram_graph) — irregular graph workloads (CSR graphs,
+//!   scan/pack-based frontier BFS, connected components, counting
+//!   kernels), each with a sequential twin for differential testing.
+//!
+//! The graph prelude is deliberately *not* folded into [`prelude`] — its
+//! short generator names (`path`, `star`, …) would collide too easily;
+//! use `lopram::graph::prelude` explicitly.
 
 #![warn(missing_docs)]
 
@@ -30,6 +37,7 @@ pub use lopram_analysis as analysis;
 pub use lopram_core as core;
 pub use lopram_dnc as dnc;
 pub use lopram_dp as dp;
+pub use lopram_graph as graph;
 pub use lopram_sim as sim;
 
 /// Convenience prelude pulling in the most commonly used items from every

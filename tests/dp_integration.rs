@@ -83,6 +83,90 @@ fn every_problem_agrees_across_schedulers_and_processor_counts() {
     check!(lis);
 }
 
+/// The full solver cross-check matrix: all four solvers agree on **every**
+/// problem in `dp::problems`, at every p in {1, 2, 4}.  The older tests
+/// sampled this grid (p ∈ {2, 8}, no chain/Floyd–Warshall × memoized, no
+/// p = 1 anywhere); this pins the whole thing, including the p = 1
+/// degenerate pools whose cutoff elides every fork.
+#[test]
+fn all_four_solvers_agree_on_every_problem_at_small_p() {
+    let pools: Vec<PalPool> = [1, 2, 4]
+        .into_iter()
+        .map(|p| PalPool::new(p).unwrap())
+        .collect();
+
+    macro_rules! check {
+        ($name:literal, $p:expr) => {{
+            let problem = $p;
+            let sequential = solve_sequential(&problem);
+            for pool in &pools {
+                let p = pool.processors();
+                let wavefront = solve_wavefront(&problem, pool);
+                let counter = solve_counter(&problem, pool);
+                // The two bottom-up parallel solvers fill the whole table:
+                // compare every cell, not just the goal.
+                assert_eq!(
+                    wavefront.values, sequential.values,
+                    "{}: wavefront table diverged at p = {p}",
+                    $name
+                );
+                assert_eq!(
+                    counter.values, sequential.values,
+                    "{}: counter table diverged at p = {p}",
+                    $name
+                );
+                // Top-down memoization only computes the cells the goal
+                // needs: compare the goal value.
+                assert_eq!(
+                    solve_memoized(&problem, pool).goal,
+                    sequential.goal,
+                    "{}: memoized goal diverged at p = {p}",
+                    $name
+                );
+            }
+        }};
+    }
+
+    check!(
+        "lcs",
+        Lcs::new(b"abracadabra".to_vec(), b"alakazam".to_vec())
+    );
+    check!(
+        "edit-distance",
+        EditDistance::new(b"sunday".to_vec(), b"saturday".to_vec())
+    );
+    check!(
+        "matrix-chain",
+        MatrixChain::new(vec![30, 35, 15, 5, 10, 20, 25])
+    );
+    check!("optimal-bst", OptimalBst::new(vec![34, 8, 50, 21, 13]));
+    check!(
+        "knapsack",
+        Knapsack::new(vec![1, 3, 4, 5, 2], vec![1, 4, 5, 7, 3], 9)
+    );
+    check!("coin-change", CoinChange::new(vec![1, 2, 5], 40));
+    check!(
+        "rod-cutting",
+        RodCutting::new(vec![1, 5, 8, 9, 10, 17, 17, 20], 17)
+    );
+    check!("lis", Lis::new(vec![10, 9, 2, 5, 3, 7, 101, 18, 4, 6]));
+    // The chain stays small: memoization recurses one frame per cell along
+    // the single dependency chain.
+    check!(
+        "prefix-chain",
+        PrefixChain::new((0..128).map(|i| (i % 23) as i64 - 11).collect())
+    );
+    check!(
+        "floyd-warshall",
+        FloydWarshall::from_edges(
+            12,
+            &(0..60)
+                .map(|i| ((i * 5) % 12, (i * 7 + 2) % 12, ((i * 11) % 30 + 1) as u64))
+                .collect::<Vec<_>>(),
+        )
+    );
+}
+
 #[test]
 fn floyd_warshall_matches_reference_through_the_full_pipeline() {
     let edges: Vec<(usize, usize, u64)> = (0..120)
