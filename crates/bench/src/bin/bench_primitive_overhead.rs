@@ -1,0 +1,502 @@
+//! Experiment E15 — steady-state primitive overhead.
+//!
+//! PR 3 made an un-stolen fork cost ~13 ns, so the remaining hot-path tax
+//! of the data-parallel layer is **memory**: the PR 4 primitives allocated
+//! fresh `Vec`s for block sums, survivor counts, offsets and outputs on
+//! every call, and a level-synchronous BFS re-paid that bill per level.
+//! This binary prices the fix.  For each of `scan`, `pack` and a
+//! steady-state BFS level it measures, on the same pool:
+//!
+//! * **before** — a faithful replica of the PR 4 unfused primitives (full
+//!   element-wise offset scan inside `expand`, fresh scratch and output
+//!   vectors per call), kept here so the old cost stays measurable after
+//!   the implementation it belonged to is gone;
+//! * **after** — the production path: fused count+scatter `pack`, block-sum
+//!   `expand`, the `Copy` fast-path scan, all scratch through the
+//!   [`Workspace`] arena and all outputs through `_in` caller buffers.
+//!
+//! Reported as ns/element (ns/edge for BFS) and allocation events per
+//! call (per level for BFS), measured with the [`CountingAlloc`] global
+//! allocator.  A grain ablation rides along: the same small-`n` scan on
+//! the adaptive-grain pool vs the legacy fixed-`4p` pool, pricing the
+//! cost-model floor.  Everything lands in `BENCH_primitive_overhead.json`
+//! so future PRs regress against a recorded baseline; `--smoke` runs a
+//! reduced grid, asserts output equality of every before/after pair, and
+//! gates the headline claim: **≥ 2× fewer allocations per steady-state
+//! BFS level** (CI `bench-baseline` re-checks the committed JSON).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use lopram_bench::CountingAlloc;
+use lopram_core::{PalPool, Workspace};
+use lopram_graph::prelude::*;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// A faithful replica of the PR 4 (unfused, allocation-per-call)
+/// primitives, written against the public `PalPool::join`: balanced
+/// bounds vectors materialized per call, two-pass scan with clone chains,
+/// pack via a separate counts vector plus an `exclusive_bounds`
+/// allocation, expand via a full element-wise offset scan, and a BFS that
+/// re-allocates every level buffer per level.
+mod unfused {
+    use super::*;
+
+    fn balanced_bounds(len: usize, chunks: usize) -> Vec<usize> {
+        (0..=chunks).map(|c| c * len / chunks).collect()
+    }
+
+    fn unit_bounds(chunks: usize) -> Vec<usize> {
+        (0..=chunks).collect()
+    }
+
+    fn exclusive_bounds(counts: &[usize]) -> Vec<usize> {
+        let mut bounds = Vec::with_capacity(counts.len() + 1);
+        let mut acc = 0usize;
+        for &c in counts {
+            bounds.push(acc);
+            acc += c;
+        }
+        bounds.push(acc);
+        bounds
+    }
+
+    fn blocked_uneven_mut<T, F>(pool: &PalPool, data: &mut [T], bounds: &[usize], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        fn go<T, F>(
+            pool: &PalPool,
+            first: usize,
+            count: usize,
+            data: &mut [T],
+            bounds: &[usize],
+            f: &F,
+        ) where
+            T: Send,
+            F: Fn(usize, &mut [T]) + Sync,
+        {
+            if count <= 1 {
+                f(first, data);
+                return;
+            }
+            let left = count / 2;
+            let split = bounds[first + left] - bounds[first];
+            let (lo, hi) = data.split_at_mut(split);
+            pool.join(
+                || go(pool, first, left, lo, bounds, f),
+                || go(pool, first + left, count - left, hi, bounds, f),
+            );
+        }
+        let count = bounds.len() - 1;
+        if count == 0 {
+            return;
+        }
+        go(pool, 0, count, data, bounds, &f);
+    }
+
+    /// PR 4 scan: fresh `sums`, `offsets` and `exclusive` vectors, clone
+    /// chains in both passes.
+    pub fn scan(pool: &PalPool, input: &[usize]) -> (Vec<usize>, usize) {
+        let n = input.len();
+        if n == 0 {
+            return (Vec::new(), 0);
+        }
+        let chunks = pool.chunk_count(n);
+        let bounds = balanced_bounds(n, chunks);
+        let mut sums = vec![0usize; chunks];
+        blocked_uneven_mut(pool, &mut sums, &unit_bounds(chunks), |chunk, slot| {
+            let mut acc = 0usize;
+            for x in &input[bounds[chunk]..bounds[chunk + 1]] {
+                acc += *x;
+            }
+            slot[0] = acc;
+        });
+        let mut acc = 0usize;
+        let offsets: Vec<usize> = sums
+            .iter()
+            .map(|s| {
+                let before = acc;
+                acc += *s;
+                before
+            })
+            .collect();
+        let total = acc;
+        let mut exclusive = vec![0usize; n];
+        blocked_uneven_mut(pool, &mut exclusive, &bounds, |chunk, out| {
+            let mut acc = offsets[chunk];
+            for (slot, x) in out.iter_mut().zip(&input[bounds[chunk]..]) {
+                *slot = acc;
+                acc += *x;
+            }
+        });
+        (exclusive, total)
+    }
+
+    /// PR 4 pack: separate counts vector, `exclusive_bounds` allocation,
+    /// fresh output.
+    pub fn pack<F>(pool: &PalPool, input: &[usize], keep: F) -> Vec<usize>
+    where
+        F: Fn(usize, &usize) -> bool + Sync,
+    {
+        let n = input.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunks = pool.chunk_count(n);
+        let bounds = balanced_bounds(n, chunks);
+        let mut counts = vec![0usize; chunks];
+        blocked_uneven_mut(pool, &mut counts, &unit_bounds(chunks), |chunk, slot| {
+            let lo = bounds[chunk];
+            slot[0] = input[lo..bounds[chunk + 1]]
+                .iter()
+                .enumerate()
+                .filter(|(i, x)| keep(lo + i, x))
+                .count();
+        });
+        let out_bounds = exclusive_bounds(&counts);
+        let total = out_bounds[chunks];
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut out = vec![input[0]; total];
+        blocked_uneven_mut(pool, &mut out, &out_bounds, |chunk, region| {
+            let lo = bounds[chunk];
+            let mut slots = region.iter_mut();
+            for (i, x) in input[lo..bounds[chunk + 1]].iter().enumerate() {
+                if keep(lo + i, x) {
+                    *slots.next().expect("pure keep") = *x;
+                }
+            }
+        });
+        out
+    }
+
+    /// PR 4 expand: a full element-wise offset scan (the `exclusive`
+    /// vector of `scan`) plus fresh `out_bounds` and output vectors.
+    pub fn expand<F>(pool: &PalPool, sizes: &[usize], fill: usize, write: F) -> Vec<usize>
+    where
+        F: Fn(usize, &mut [usize]) + Sync,
+    {
+        let n = sizes.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunks = pool.chunk_count(n);
+        let item_bounds = balanced_bounds(n, chunks);
+        let (offsets, total) = scan(pool, sizes);
+        let mut out = vec![fill; total];
+        let mut out_bounds: Vec<usize> = (0..chunks).map(|c| offsets[item_bounds[c]]).collect();
+        out_bounds.push(total);
+        blocked_uneven_mut(pool, &mut out, &out_bounds, |chunk, region| {
+            let mut rest = region;
+            let lo = item_bounds[chunk];
+            for (i, &size) in sizes[lo..item_bounds[chunk + 1]].iter().enumerate() {
+                let (head, tail) = rest.split_at_mut(size);
+                write(lo + i, head);
+                rest = tail;
+            }
+        });
+        out
+    }
+
+    /// PR 4 map_collect: fresh output per call.
+    pub fn map_collect<F>(pool: &PalPool, len: usize, map: F) -> Vec<usize>
+    where
+        F: Fn(usize) -> usize + Sync,
+    {
+        let mut out = vec![0usize; len];
+        if len == 0 {
+            return out;
+        }
+        let chunks = pool.chunk_count(len);
+        let bounds = balanced_bounds(len, chunks);
+        blocked_uneven_mut(pool, &mut out, &bounds, |chunk, slots| {
+            let lo = bounds[chunk];
+            for (k, slot) in slots.iter_mut().enumerate() {
+                *slot = map(lo + k);
+            }
+        });
+        out
+    }
+
+    /// PR 4 BFS: fresh dist / degrees / candidates / frontier vectors —
+    /// roughly a dozen allocations per level.
+    pub fn bfs(graph: &CsrGraph, pool: &PalPool, src: usize) -> Vec<usize> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let dist: Vec<AtomicUsize> = (0..graph.vertices())
+            .map(|_| AtomicUsize::new(UNREACHED))
+            .collect();
+        dist[src].store(0, Ordering::Relaxed);
+        let mut frontier = vec![src];
+        let mut level = 0usize;
+        while !frontier.is_empty() {
+            level += 1;
+            let frontier_ref = &frontier;
+            let degrees = map_collect(pool, frontier.len(), |i| graph.degree(frontier_ref[i]));
+            let candidates = expand(pool, &degrees, UNREACHED, |i, region| {
+                for (slot, &v) in region.iter_mut().zip(graph.neighbors(frontier_ref[i])) {
+                    let claimed = dist[v]
+                        .compare_exchange(UNREACHED, level, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok();
+                    *slot = if claimed { v } else { UNREACHED };
+                }
+            });
+            frontier = pack(pool, &candidates, |_, &v| v != UNREACHED);
+        }
+        dist.into_iter().map(AtomicUsize::into_inner).collect()
+    }
+}
+
+/// Allocation events and wall-clock for `runs` calls of `f`, after one
+/// warm-up call (the warm-up pays the arena growth so the window measures
+/// the steady state).
+fn measure_calls<F: FnMut()>(runs: usize, mut f: F) -> (f64, f64) {
+    f();
+    let allocs_before = CountingAlloc::events();
+    let start = Instant::now();
+    for _ in 0..runs {
+        f();
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    let allocs = (CountingAlloc::events() - allocs_before) as f64;
+    (allocs / runs as f64, elapsed / runs as f64)
+}
+
+struct Row {
+    primitive: &'static str,
+    variant: &'static str,
+    n: usize,
+    p: usize,
+    ns_per_element: f64,
+    allocs_per_call: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let runs = if smoke { 5 } else { 20 };
+    let n: usize = if smoke { 1 << 15 } else { 1 << 19 };
+    let grid_side = if smoke { 48 } else { 96 };
+
+    let input: Vec<usize> = (0..n).map(|i| (i * 2_654_435_761) % 1009).collect();
+    let graph = grid(grid_side, grid_side);
+    let src = 0usize;
+    let expected_dist = bfs_seq(&graph, src);
+    let bfs_levels = levels(&expected_dist).max(1);
+    let edges = graph.edges();
+
+    println!("Primitive steady-state overhead — n = {n}, grid {grid_side}x{grid_side} ({bfs_levels} BFS levels)\n");
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut bfs_alloc: Vec<(usize, f64, f64)> = Vec::new(); // (p, before, after) allocs/level
+    for &p in &[1usize, 2, 4] {
+        let pool = PalPool::new(p).expect("p >= 1");
+
+        // -- scan ---------------------------------------------------------
+        let (before_out, before_total) = unfused::scan(&pool, &input);
+        let after = pool.scan_copy(&input, 0usize, |a, b| a + b);
+        assert_eq!(after.exclusive, before_out, "scan diverged at p = {p}");
+        assert_eq!(after.total, before_total, "scan total diverged at p = {p}");
+        let (allocs, ns) = measure_calls(runs, || {
+            black_box(unfused::scan(&pool, &input));
+        });
+        rows.push(Row {
+            primitive: "scan",
+            variant: "before",
+            n,
+            p,
+            ns_per_element: ns / n as f64,
+            allocs_per_call: allocs,
+        });
+        let mut scanned: Vec<usize> = Vec::new();
+        let (allocs, ns) = measure_calls(runs, || {
+            black_box(pool.scan_copy_in(&input, 0usize, |a, b| a + b, &mut scanned));
+        });
+        assert_eq!(scanned, before_out, "scan_copy_in diverged at p = {p}");
+        rows.push(Row {
+            primitive: "scan",
+            variant: "after",
+            n,
+            p,
+            ns_per_element: ns / n as f64,
+            allocs_per_call: allocs,
+        });
+
+        // -- pack ---------------------------------------------------------
+        let keep = |_: usize, x: &usize| x.is_multiple_of(3);
+        let before_out = unfused::pack(&pool, &input, keep);
+        assert_eq!(
+            pool.pack(&input, keep),
+            before_out,
+            "pack diverged at p = {p}"
+        );
+        let (allocs, ns) = measure_calls(runs, || {
+            black_box(unfused::pack(&pool, &input, keep));
+        });
+        rows.push(Row {
+            primitive: "pack",
+            variant: "before",
+            n,
+            p,
+            ns_per_element: ns / n as f64,
+            allocs_per_call: allocs,
+        });
+        let mut packed: Vec<usize> = Vec::new();
+        let (allocs, ns) = measure_calls(runs, || {
+            pool.pack_in(&input, keep, &mut packed);
+            black_box(&packed);
+        });
+        assert_eq!(packed, before_out, "pack_in diverged at p = {p}");
+        rows.push(Row {
+            primitive: "pack",
+            variant: "after",
+            n,
+            p,
+            ns_per_element: ns / n as f64,
+            allocs_per_call: allocs,
+        });
+
+        // -- BFS level ----------------------------------------------------
+        let bfs_runs = runs.div_ceil(4).max(2);
+        assert_eq!(
+            unfused::bfs(&graph, &pool, src),
+            expected_dist,
+            "unfused BFS diverged at p = {p}"
+        );
+        assert_eq!(
+            bfs_par(&graph, &pool, src),
+            expected_dist,
+            "fused BFS diverged at p = {p}"
+        );
+        let (allocs_before, ns) = measure_calls(bfs_runs, || {
+            black_box(unfused::bfs(&graph, &pool, src));
+        });
+        rows.push(Row {
+            primitive: "bfs_level",
+            variant: "before",
+            n: graph.vertices(),
+            p,
+            ns_per_element: ns / edges as f64,
+            allocs_per_call: allocs_before / bfs_levels as f64,
+        });
+        let (allocs_after, ns) = measure_calls(bfs_runs, || {
+            black_box(bfs_par(&graph, &pool, src));
+        });
+        rows.push(Row {
+            primitive: "bfs_level",
+            variant: "after",
+            n: graph.vertices(),
+            p,
+            ns_per_element: ns / edges as f64,
+            allocs_per_call: allocs_after / bfs_levels as f64,
+        });
+        bfs_alloc.push((
+            p,
+            allocs_before / bfs_levels as f64,
+            allocs_after / bfs_levels as f64,
+        ));
+    }
+
+    println!(
+        "{:<10} {:>8} {:>9} {:>4} {:>14} {:>16}",
+        "primitive", "variant", "n", "p", "ns/element", "allocs/call"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>8} {:>9} {:>4} {:>14.3} {:>16.3}",
+            r.primitive, r.variant, r.n, r.p, r.ns_per_element, r.allocs_per_call
+        );
+    }
+    println!("\n(bfs_level rows: ns/element is ns per edge, allocs/call is allocs per level)");
+
+    // -- grain ablation: the cost-model floor on a small input ------------
+    let small: Vec<usize> = input[..100].to_vec();
+    let adaptive = PalPool::new(4).expect("p = 4");
+    let legacy = PalPool::builder()
+        .processors(4)
+        .no_adaptive_grain()
+        .build()
+        .expect("p = 4");
+    let grain_runs = runs * 50;
+    let mut buf: Vec<usize> = Vec::new();
+    let (_, adaptive_ns) = measure_calls(grain_runs, || {
+        black_box(adaptive.scan_copy_in(&small, 0usize, |a, b| a + b, &mut buf));
+    });
+    let (_, legacy_ns) = measure_calls(grain_runs, || {
+        black_box(legacy.scan_copy_in(&small, 0usize, |a, b| a + b, &mut buf));
+    });
+    println!(
+        "\ngrain ablation (scan of 100 elements, p = 4): adaptive {adaptive_ns:.0} ns/call \
+         ({} block), legacy 4p {legacy_ns:.0} ns/call ({} blocks)",
+        adaptive.chunk_count(100),
+        legacy.chunk_count(100)
+    );
+
+    // -- arena sanity ------------------------------------------------------
+    let ws_probe = Workspace::new();
+    drop(ws_probe.checkout::<usize>());
+    drop(ws_probe.checkout::<usize>());
+    assert_eq!(ws_probe.stats().hits, 1, "workspace hit counting is live");
+
+    // -- JSON baseline -----------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"primitive_overhead\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"n\": {n},\n"));
+    json.push_str(&format!(
+        "  \"bfs_shape\": {{\"grid\": [{grid_side}, {grid_side}], \"levels\": {bfs_levels}, \"edges\": {edges}}},\n"
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"primitive\": \"{}\", \"variant\": \"{}\", \"n\": {}, \"p\": {}, \"ns_per_element\": {:.4}, \"allocs_per_call\": {:.3}}}{comma}\n",
+            r.primitive, r.variant, r.n, r.p, r.ns_per_element, r.allocs_per_call
+        ));
+    }
+    json.push_str("  ],\n");
+    let worst_reduction = bfs_alloc
+        .iter()
+        .map(|&(_, before, after)| before / after.max(1e-9))
+        .fold(f64::INFINITY, f64::min);
+    json.push_str(&format!(
+        "  \"bfs_level_alloc_reduction_min\": {worst_reduction:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"grain_ablation\": {{\"small_n\": 100, \"p\": 4, \"adaptive_ns_per_call\": {adaptive_ns:.1}, \"legacy_4p_ns_per_call\": {legacy_ns:.1}}}\n"
+    ));
+    json.push_str("}\n");
+
+    // Smoke runs write to their own (gitignored) file: the committed
+    // BENCH_primitive_overhead.json is the full-matrix baseline.
+    let default_out = if smoke {
+        "BENCH_primitive_overhead.smoke.json"
+    } else {
+        "BENCH_primitive_overhead.json"
+    };
+    let out = std::env::var("LOPRAM_BENCH_OUT").unwrap_or_else(|_| default_out.to_string());
+    std::fs::write(&out, &json).expect("write benchmark baseline");
+    println!("\nwrote {out}");
+
+    if smoke {
+        // The acceptance gate: every steady-state BFS level must allocate
+        // at least 2x less than the unfused twin (measured ~12 allocs per
+        // level before vs ~a fraction of one after — the headroom is
+        // enormous; 2x just guards the property, not the exact figure).
+        for &(p, before, after) in &bfs_alloc {
+            assert!(
+                before >= 2.0 * after,
+                "p = {p}: steady-state BFS level must allocate >= 2x less than \
+                 the unfused twin (before {before:.2}, after {after:.2} allocs/level)"
+            );
+        }
+        println!(
+            "smoke: OK (min BFS-level alloc reduction {:.1}x across p)",
+            worst_reduction
+        );
+    }
+}

@@ -19,7 +19,15 @@
 //!   work-stealing runtime really migrates irregular work; retried a few
 //!   times to absorb scheduling noise on a single-core host);
 //! * exact `spawned + inlined + elided` fork accounting for the scan and
-//!   pack primitives via [`assert_metrics_consistent`].
+//!   pack primitives via [`assert_metrics_consistent`];
+//! * exact BFS and CC fork counts under the adaptive grain policy, on a
+//!   path graph where the per-level counts are closed-form — both on the
+//!   default adaptive pool (cost floor ⇒ zero forks) and with the grain
+//!   pinned to 1 via [`PalPoolBuilder::grain`] (legacy 4p blocking ⇒
+//!   `2·(n − 2)` forks), proving the policy stays a pure function of
+//!   `(len, p, configuration)` and never of the schedule.
+//!
+//! [`PalPoolBuilder::grain`]: lopram_core::PalPoolBuilder::grain
 
 use std::time::Duration;
 
@@ -235,8 +243,49 @@ fn main() {
             assert_eq!(kept.len(), 5_000);
             assert_metrics_consistent(pool.metrics(), 2 * per_pass);
         }
+
+        // BFS/CC fork counts stay exact under the adaptive grain policy.
+        // On a path graph every frontier is a single vertex and every
+        // candidate buffer holds at most two entries, so the per-level
+        // block counts — and hence the whole kernel's fork count — are
+        // closed-form.
+        let n = 64usize;
+        let path_graph = path(n);
+        let expected_dist = bfs_seq(&path_graph, 0);
+        for p in [1usize, 2, 4] {
+            // Default adaptive pool: every per-level input sits below the
+            // cost-model floor — one block per pass, zero forks, end to
+            // end, at every p.
+            let pool = PalPool::new(p).expect("p >= 1");
+            assert_eq!(bfs_par(&path_graph, &pool, 0), expected_dist);
+            assert_metrics_consistent(pool.metrics(), 0);
+
+            // Grain pinned to 1 via the builder (the legacy 4p blocking):
+            // the only multi-block pass is the pack over the 2-candidate
+            // buffer of each of the n − 2 interior levels — 2 blocks × 2
+            // passes = 2 forks per level, independent of p and schedule.
+            let pool = PalPool::builder()
+                .processors(p)
+                .grain(1)
+                .build()
+                .expect("p >= 1");
+            assert_eq!(bfs_par(&path_graph, &pool, 0), expected_dist);
+            assert_metrics_consistent(pool.metrics(), 2 * (n as u64 - 2));
+        }
+        // CC fork accounting: at p = 1 the elided spawns run in creation
+        // (ascending-index) order, so label propagation on a path
+        // converges in exactly two sweeps (one propagating, one
+        // confirming the fixpoint) of 4 chunk spawns each.
+        let pool = PalPool::new(1).expect("p = 1");
+        assert_eq!(
+            components_label_prop(&path_graph, &pool),
+            components_seq(&path_graph)
+        );
+        assert_metrics_consistent(pool.metrics(), 2 * 4);
+
         println!(
-            "\nsmoke: OK (per-p spawned/steals: {:?}; scan/pack fork accounting exact)",
+            "\nsmoke: OK (per-p spawned/steals: {:?}; scan/pack + BFS/CC fork accounting \
+             exact under adaptive grain)",
             totals
         );
     }

@@ -22,10 +22,13 @@
 //! | `table_sim_speedup`    | simulator speedup sweep |
 //! | `bench_join_overhead`  | E13: ns/fork baseline — legacy mutex path vs lock-free deque vs α·log p cutoff, steal throughput, end-to-end matrix; emits `BENCH_join_overhead.json` (`--smoke` asserts the ≥5× gate) |
 //! | `table_graph_speedup`  | E14: irregular graph kernels (scan/pack BFS, connected components, histogram, triangles) × shapes × p ∈ {1, 2, 4}; `--smoke` asserts parallel ≡ sequential, nonzero steals at p ≥ 2, exact fork accounting |
+//! | `bench_primitive_overhead` | E15: steady-state primitive cost — ns/element and allocs/call for scan/pack/BFS-level, unfused allocation-per-call twins vs the fused arena-backed production path; emits `BENCH_primitive_overhead.json` (`--smoke` asserts the ≥2× per-level allocation gate) |
 //!
 //! This crate is an internal tool (`publish = false`); its library half holds
 //! the shared measurement and pretty-printing helpers.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use lopram_core::{PalPool, ProcessorPolicy};
@@ -33,6 +36,47 @@ use rand::prelude::*;
 
 /// Default processor counts swept by the experiment binaries.
 pub const PROCESSOR_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Allocation events (alloc + realloc, across all threads) observed by
+/// [`CountingAlloc`] since process start.
+static ALLOCATION_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// A delegating global allocator that counts allocation events, used by
+/// `bench_primitive_overhead` to measure allocs/call of the primitives.
+///
+/// Install it in a binary with
+/// `#[global_allocator] static A: CountingAlloc = CountingAlloc;` and read
+/// the counter with [`CountingAlloc::events`]; the difference across a
+/// call window divided by the call count is the allocs-per-call figure in
+/// `BENCH_primitive_overhead.json`.  `realloc` counts as an event too —
+/// buffer growth is exactly the traffic the workspace arena exists to
+/// eliminate — while `dealloc` is free.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// Total allocation events (alloc + realloc) so far.
+    pub fn events() -> u64 {
+        ALLOCATION_EVENTS.load(Ordering::Relaxed)
+    }
+}
+
+// SAFETY: delegates verbatim to `System`; the counter is a side effect
+// with no influence on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATION_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATION_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
 
 /// Measure the median wall-clock time of `f` over `runs` executions
 /// (after one warm-up run).

@@ -22,7 +22,9 @@
 //!   ([`PalPool::join`], [`PalPool::scope`], [`palthreads!`]), plus the
 //!   blocked data-parallel primitives irregular workloads are built from
 //!   ([`PalPool::scan`], [`PalPool::pack`], [`PalPool::expand`],
-//!   [`PalPool::reduce_by_index`] — see `runtime::primitives`);
+//!   [`PalPool::reduce_by_index`] plus the allocation-free `_in` variants
+//!   — see `runtime::primitives`) and the [`Workspace`] scratch arena
+//!   that makes their steady state allocation-free;
 //! * [`Executor`] — an abstraction over sequential and pal-thread execution
 //!   used by the divide-and-conquer and dynamic-programming crates;
 //! * [`SerCell`] — the paper's transparently *serialized shared variable*;
@@ -44,7 +46,10 @@ pub use error::{Error, Result};
 pub use executor::{Executor, PalExecutor, SeqExecutor};
 pub use metrics::{assert_metrics_consistent, MetricsSnapshot, RunMetrics, SpeedupReport};
 pub use policy::{processors_for, ProcessorPolicy};
-pub use runtime::{PalPool, PalPoolBuilder, PalScope, Scan, ThrottledPool, ThrottledScope};
+pub use runtime::{
+    PalPool, PalPoolBuilder, PalScope, Scan, ThrottledPool, ThrottledScope, Workspace,
+    WorkspaceGuard, WorkspaceStats,
+};
 pub use sercell::SerCell;
 
 /// Convenience prelude re-exporting the items almost every user needs.
@@ -52,6 +57,6 @@ pub mod prelude {
     pub use crate::executor::{Executor, PalExecutor, SeqExecutor};
     pub use crate::palthreads;
     pub use crate::policy::{processors_for, ProcessorPolicy};
-    pub use crate::runtime::{PalPool, PalPoolBuilder, PalScope, Scan, ThrottledPool};
+    pub use crate::runtime::{PalPool, PalPoolBuilder, PalScope, Scan, ThrottledPool, Workspace};
     pub use crate::sercell::SerCell;
 }

@@ -42,6 +42,14 @@ pub struct RunMetrics {
     /// cutoff: the fork ran as a plain sequential call and no scheduler job
     /// was ever created for it.
     pub elided: AtomicU64,
+    /// Workspace-arena checkouts served by a shelved buffer (see
+    /// [`Workspace`](crate::runtime::Workspace)): scratch the primitives
+    /// reused instead of allocating.
+    pub arena_hits: AtomicU64,
+    /// Cumulative bytes of workspace-arena buffer growth.  Stops moving
+    /// once a steady-state workload has warmed the arena — the
+    /// allocation-free property the reuse tests assert.
+    pub arena_bytes: AtomicU64,
     /// Total abstract work units reported by the algorithm (optional).
     pub work: AtomicU64,
 }
@@ -99,6 +107,16 @@ impl RunMetrics {
         self.elided.load(Ordering::Relaxed)
     }
 
+    /// Workspace-arena checkouts served by a reused buffer so far.
+    pub fn arena_hits(&self) -> u64 {
+        self.arena_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative workspace-arena buffer growth in bytes so far.
+    pub fn arena_bytes(&self) -> u64 {
+        self.arena_bytes.load(Ordering::Relaxed)
+    }
+
     /// Total abstract work recorded so far.
     pub fn work(&self) -> u64 {
         self.work.load(Ordering::Relaxed)
@@ -110,6 +128,8 @@ impl RunMetrics {
         self.inlined.store(0, Ordering::Relaxed);
         self.steals.store(0, Ordering::Relaxed);
         self.elided.store(0, Ordering::Relaxed);
+        self.arena_hits.store(0, Ordering::Relaxed);
+        self.arena_bytes.store(0, Ordering::Relaxed);
         self.work.store(0, Ordering::Relaxed);
     }
 
@@ -128,6 +148,8 @@ impl RunMetrics {
             inlined: self.inlined(),
             steals: self.steals(),
             elided: self.elided(),
+            arena_hits: self.arena_hits(),
+            arena_bytes: self.arena_bytes(),
             work: self.work(),
         }
     }
@@ -144,6 +166,10 @@ pub struct MetricsSnapshot {
     pub steals: u64,
     /// Forks elided by the α·log p sequential cutoff.
     pub elided: u64,
+    /// Workspace-arena checkouts served by a reused buffer.
+    pub arena_hits: u64,
+    /// Cumulative workspace-arena buffer growth in bytes.
+    pub arena_bytes: u64,
     /// Abstract work units.
     pub work: u64,
 }
@@ -235,11 +261,15 @@ mod tests {
         m.record_elided();
         m.record_elided();
         m.record_elided();
+        m.arena_hits.fetch_add(4, Ordering::Relaxed);
+        m.arena_bytes.fetch_add(512, Ordering::Relaxed);
         m.record_work(100);
         assert_eq!(m.spawned(), 2);
         assert_eq!(m.inlined(), 1);
         assert_eq!(m.steals(), 1);
         assert_eq!(m.elided(), 3);
+        assert_eq!(m.arena_hits(), 4);
+        assert_eq!(m.arena_bytes(), 512);
         assert_eq!(m.work(), 100);
         let snap = m.snapshot();
         assert_eq!(
@@ -249,6 +279,8 @@ mod tests {
                 inlined: 1,
                 steals: 1,
                 elided: 3,
+                arena_hits: 4,
+                arena_bytes: 512,
                 work: 100
             }
         );

@@ -17,6 +17,64 @@
 //! leaves headroom over the exact `log_a p` so mildly unbalanced trees
 //! still expose enough pending pal-threads for migration.
 
+/// Default cost-model floor for [`grain_size`]: minimum number of elements
+/// a block must carry before the blocked primitives split it off.
+///
+/// Calibrated against `BENCH_join_overhead.json`: a scheduled un-stolen
+/// fork costs ~71 ns (and an elided one ~13 ns) while one element of a
+/// scan/pack block pass costs ~1–2 ns, so a 256-element block keeps even a
+/// worst-case all-scheduled fork tree under ~30 % overhead and the typical
+/// (mostly-elided) tree under ~5 %.
+pub const DEFAULT_GRAIN: usize = 256;
+
+/// Default steal-amortization grain for [`grain_size`]: the number of
+/// elements a *stolen* block must carry before finer-than-`4p` splitting
+/// pays for the migration (deque round-trip plus the thief's cold cache,
+/// ~microseconds — three orders of magnitude above a fork).
+pub const DEFAULT_STEAL_GRAIN: usize = 4096;
+
+/// Adaptive block count for a blocked data-parallel pass over `len`
+/// elements on `p` processors.
+///
+/// Replaces the fixed `4p` blocking with two cost-model rules:
+///
+/// * **cost floor** — never make a block smaller than `min_grain`
+///   elements, so tiny inputs stop paying fork overhead they cannot
+///   amortize (a 100-element scan on `p = 4` used to fork 15 times for
+///   ~25 ns of work per block);
+/// * **steal-informed splitting** — on inputs large enough that even an
+///   eighth-per-processor block still carries `steal_grain` elements
+///   (`len / 8p >= steal_grain`), split `8p` ways instead of `4p`: skewed
+///   work (a star graph's hub block, an adversarial pack predicate)
+///   rebalances through steals, and each extra pending block is only
+///   worth migrating when it amortizes the steal itself.
+///
+/// Both rules are **pure functions of `(len, p, min_grain, steal_grain)`**
+/// — deliberately *not* of live steal counters.  The steal rule is
+/// informed by the measured steal cost model, not by the observed
+/// schedule, precisely so that a primitive's fork count (`blocks − 1` per
+/// parallel pass) stays exact and schedule-independent and
+/// [`assert_metrics_consistent`](crate::assert_metrics_consistent)
+/// can keep asserting it on racy hosts.
+///
+/// The result is clamped to `[1, len]` (callers guarantee `len >= 1`,
+/// matching [`PalPool::chunk_count`](crate::PalPool::chunk_count)).
+/// `min_grain`/`steal_grain` of 0 are treated as 1 / disabled.
+pub fn grain_size(len: usize, p: usize, min_grain: usize, steal_grain: usize) -> usize {
+    let p = p.max(1);
+    let oversubscribe = if steal_grain > 0 && len / (8 * p) >= steal_grain {
+        8
+    } else {
+        4
+    };
+    // Floor division keeps the contract literal: with `chunks <=
+    // len / min_grain`, every balanced block carries `len / chunks >=
+    // min_grain` elements (an input shorter than `2·min_grain` is one
+    // block).
+    let by_cost = (len / min_grain.max(1)).max(1);
+    (oversubscribe * p).min(by_cost).clamp(1, len)
+}
+
 /// Strategy used to pick the number of processors `p` for an input of size `n`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ProcessorPolicy {
@@ -196,6 +254,57 @@ mod tests {
         // Negative α is treated as 0, huge α saturates at usize::BITS.
         assert_eq!(cutoff_levels(-3.0, 8), 0);
         assert_eq!(cutoff_levels(1e9, 2), usize::BITS as usize);
+    }
+
+    #[test]
+    fn grain_size_applies_the_cost_floor() {
+        // Small inputs never split below min_grain elements per block —
+        // 300 elements stay one block (two blocks would be 150 each).
+        assert_eq!(grain_size(100, 4, 256, 4096), 1);
+        assert_eq!(grain_size(300, 4, 256, 4096), 1);
+        assert_eq!(grain_size(512, 4, 256, 4096), 2);
+        assert_eq!(grain_size(1024, 4, 256, 4096), 4);
+        // Large inputs saturate at the oversubscription cap.
+        assert_eq!(grain_size(100_000, 4, 256, 4096), 16);
+        // min_grain = 1 (or 0) recovers the legacy fixed-4p blocking.
+        assert_eq!(grain_size(100, 4, 1, 0), 16);
+        assert_eq!(grain_size(100, 4, 0, 0), 16);
+        assert_eq!(grain_size(3, 4, 1, 0), 3, "never more blocks than elements");
+    }
+
+    #[test]
+    fn grain_size_steal_rule_kicks_in_on_large_inputs() {
+        // 8p-way splitting only once every eighth-per-processor block
+        // still carries steal_grain elements.
+        let p = 2;
+        assert_eq!(grain_size(8 * p * 4096 - 1, p, 256, 4096), 4 * p);
+        assert_eq!(grain_size(8 * p * 4096, p, 256, 4096), 8 * p);
+        // Disabled when steal_grain = 0.
+        assert_eq!(grain_size(1 << 20, p, 256, 0), 4 * p);
+    }
+
+    proptest! {
+        #[test]
+        fn grain_size_is_bounded_and_deterministic(
+            len in 1usize..2_000_000,
+            p in 1usize..16,
+            min_grain in 0usize..5000,
+            steal_grain in 0usize..10_000,
+        ) {
+            let chunks = grain_size(len, p, min_grain, steal_grain);
+            prop_assert!(chunks >= 1);
+            prop_assert!(chunks <= len);
+            prop_assert!(chunks <= 8 * p);
+            // Pure function: same inputs, same blocking — the property the
+            // exact fork accounting rests on.
+            prop_assert_eq!(chunks, grain_size(len, p, min_grain, steal_grain));
+            // The cost floor really holds, literally: every balanced
+            // block carries at least min_grain elements whenever the
+            // input splits at all.
+            if chunks > 1 {
+                prop_assert!(len / chunks >= min_grain.max(1));
+            }
+        }
     }
 
     #[test]

@@ -46,8 +46,10 @@ mod pool;
 mod primitives;
 mod throttled;
 mod tokens;
+mod workspace;
 
 pub use pool::{PalPool, PalPoolBuilder, PalScope};
 pub use primitives::Scan;
 pub use throttled::{ThrottledPool, ThrottledPoolBuilder, ThrottledScope};
 pub use tokens::ProcessorTokens;
+pub use workspace::{Workspace, WorkspaceGuard, WorkspaceStats};

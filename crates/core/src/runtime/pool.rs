@@ -54,12 +54,38 @@ use std::ops::Range;
 
 use parking_lot::Mutex;
 
+use super::workspace::Workspace;
 use crate::error::{Error, Result};
 use crate::metrics::RunMetrics;
-use crate::policy::{cutoff_levels, ProcessorPolicy};
+use crate::policy::{
+    cutoff_levels, grain_size, ProcessorPolicy, DEFAULT_GRAIN, DEFAULT_STEAL_GRAIN,
+};
 
 /// Default headroom factor `α` for the sequential cutoff `⌈α·log₂ p⌉`.
 pub const DEFAULT_CUTOFF_ALPHA: f64 = 2.0;
+
+/// How a pool blocks its data-parallel primitives (see
+/// [`PalPool::chunk_count`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Grain {
+    /// The full [`grain_size`] policy: cost-model floor of `min` elements
+    /// per block, steal-informed `4p`→`8p` oversubscription on large
+    /// inputs.
+    Adaptive { min: usize },
+    /// Pinned policy: at most `4p` blocks of at least `min` elements, no
+    /// oversubscription adaptivity.  `min = 1` is exactly the legacy
+    /// fixed-`4p` blocking.
+    Fixed { min: usize },
+}
+
+impl Grain {
+    fn chunks(self, len: usize, p: usize) -> usize {
+        match self {
+            Grain::Adaptive { min } => grain_size(len, p, min, DEFAULT_STEAL_GRAIN),
+            Grain::Fixed { min } => grain_size(len, p, min, 0),
+        }
+    }
+}
 
 /// Source of unique pool identities for the thread-local depth counter
 /// (0 is reserved for "no pool").
@@ -122,9 +148,23 @@ pub struct PalPool {
     /// Recursion depth at which forks stop creating scheduler jobs
     /// (`⌈α·log₂ p⌉`); `None` disables the throttle.
     cutoff: Option<usize>,
+    /// Blocking policy for the data-parallel primitives.
+    grain: Grain,
+    /// Reusable scratch arena for the blocked primitives and the kernels
+    /// built on them (see [`workspace`](PalPool::workspace)).
+    workspace: Workspace,
     /// Last pool-level counters already folded into `metrics`, so repeated
     /// [`metrics`](PalPool::metrics) calls only add the delta.
-    synced: Mutex<rayon::PoolStats>,
+    synced: Mutex<SyncedCounters>,
+}
+
+/// Baseline of externally-sourced counters already folded into
+/// [`PalPool::metrics`]; see [`PalPool::sync_metrics`].
+#[derive(Debug, Default)]
+struct SyncedCounters {
+    pool: rayon::PoolStats,
+    arena_hits: u64,
+    arena_bytes: u64,
 }
 
 impl PalPool {
@@ -133,12 +173,17 @@ impl PalPool {
     ///
     /// Returns [`Error::ZeroProcessors`] when `p == 0`.
     pub fn new(p: usize) -> Result<Self> {
-        PalPool::with_cutoff(p, Some(DEFAULT_CUTOFF_ALPHA))
+        PalPool::with_cutoff(
+            p,
+            Some(DEFAULT_CUTOFF_ALPHA),
+            Grain::Adaptive { min: DEFAULT_GRAIN },
+        )
     }
 
-    /// Create a pool with exactly `p` processors and an explicit throttle:
-    /// `Some(alpha)` applies the `⌈α·log₂ p⌉` cutoff, `None` disables it.
-    fn with_cutoff(p: usize, alpha: Option<f64>) -> Result<Self> {
+    /// Create a pool with exactly `p` processors, an explicit throttle
+    /// (`Some(alpha)` applies the `⌈α·log₂ p⌉` cutoff, `None` disables it)
+    /// and an explicit blocking policy.
+    fn with_cutoff(p: usize, alpha: Option<f64>, grain: Grain) -> Result<Self> {
         if p == 0 {
             return Err(Error::ZeroProcessors);
         }
@@ -153,7 +198,9 @@ impl PalPool {
             metrics: RunMetrics::new(),
             id: POOL_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             cutoff: alpha.map(|a| cutoff_levels(a, p)),
-            synced: Mutex::new(rayon::PoolStats::default()),
+            grain,
+            workspace: Workspace::new(),
+            synced: Mutex::new(SyncedCounters::default()),
         })
     }
 
@@ -194,6 +241,17 @@ impl PalPool {
         self.cutoff
     }
 
+    /// The pool's scratch arena: reusable, grow-only typed buffers the
+    /// blocked primitives (and kernels built on them, like the BFS in
+    /// `lopram-graph`) check out instead of allocating.
+    ///
+    /// See [`Workspace`] for the checkout/check-in lifecycle; the arena's
+    /// hit and growth counters surface through
+    /// [`metrics`](PalPool::metrics) as `arena_hits` / `arena_bytes`.
+    pub fn workspace(&self) -> &Workspace {
+        &self.workspace
+    }
+
     /// Scheduling counters for this pool.
     ///
     /// `spawned`/`steals` count pal-threads that migrated to a processor
@@ -206,8 +264,9 @@ impl PalPool {
         &self.metrics
     }
 
-    /// Fold the runtime's stolen/inlined/injected counters into
-    /// `self.metrics`, adding only what accumulated since the previous sync.
+    /// Fold the runtime's stolen/inlined/injected counters and the
+    /// workspace arena's hit/growth counters into `self.metrics`, adding
+    /// only what accumulated since the previous sync.
     ///
     /// Attribution: a stolen fork was granted a processor *and* migrated
     /// (`spawned` + `steals`); a pal-thread injected from outside the pool
@@ -221,16 +280,32 @@ impl PalPool {
         // baseline and underflow the delta.
         let mut last = self.synced.lock();
         let now = self.pool.stats();
-        let stolen = now.stolen - last.stolen;
-        let inlined = now.inlined - last.inlined;
-        let injected = now.injected - last.injected;
-        *last = now;
+        let arena = self.workspace.stats();
+        let stolen = now.stolen - last.pool.stolen;
+        let inlined = now.inlined - last.pool.inlined;
+        let injected = now.injected - last.pool.injected;
+        let arena_hits = arena.hits - last.arena_hits;
+        // Wrapping: grown_bytes is a signed (two's-complement) net, so it
+        // can transiently decrease; the wrapped delta re-nets correctly
+        // in the metrics accumulator.
+        let arena_bytes = arena.grown_bytes.wrapping_sub(last.arena_bytes);
+        last.pool = now;
+        last.arena_hits = arena.hits;
+        last.arena_bytes = arena.grown_bytes;
         drop(last);
         self.metrics
             .spawned
             .fetch_add(stolen + injected, Ordering::Relaxed);
         self.metrics.steals.fetch_add(stolen, Ordering::Relaxed);
         self.metrics.inlined.fetch_add(inlined, Ordering::Relaxed);
+        self.metrics
+            .arena_hits
+            .fetch_add(arena_hits, Ordering::Relaxed);
+        // fetch_add wraps on overflow, which is exactly the two's-
+        // complement accumulation the signed delta needs.
+        self.metrics
+            .arena_bytes
+            .fetch_add(arena_bytes, Ordering::Relaxed);
     }
 
     /// Run two pal-threads and wait for both — the `palthreads { a(); b(); }`
@@ -321,7 +396,7 @@ impl PalPool {
         if len == 0 {
             return;
         }
-        let chunks = self.chunk_count(len);
+        let chunks = self.index_chunk_count(len);
         let chunk_size = len.div_ceil(chunks);
         self.scope(|scope| {
             let f = &f;
@@ -353,7 +428,7 @@ impl PalPool {
         if len == 0 {
             return identity;
         }
-        let chunks = self.chunk_count(len);
+        let chunks = self.index_chunk_count(len);
         let chunk_size = len.div_ceil(chunks);
         let partials: Mutex<Vec<T>> = Mutex::new(Vec::with_capacity(chunks));
         self.scope(|scope| {
@@ -381,20 +456,43 @@ impl PalPool {
         acc
     }
 
-    /// Target block count for the data-parallel helpers on a length-`len`
-    /// range: `4·p`, clamped to `[1, len]`.
+    /// Target block count for the blocked data-parallel primitives on a
+    /// length-`len` input, from the adaptive grain policy
+    /// ([`policy::grain_size`](crate::policy::grain_size)).
     ///
-    /// The blocked primitives of `runtime::primitives` ([`scan`][s],
-    /// [`pack`](PalPool::pack), …) partition into **exactly** this many
-    /// blocks (balanced boundaries `c·len/chunks`), so tests and the
-    /// experiment harness can predict their fork counts precisely.
+    /// By default this is at most `4·p` blocks (up to `8·p` on inputs
+    /// large enough that the finer pieces still amortize a steal), floored
+    /// so no block carries fewer than
+    /// [`DEFAULT_GRAIN`](crate::policy::DEFAULT_GRAIN) elements — small
+    /// inputs stop forking entirely instead of paying `4p − 1` forks for
+    /// nanoseconds of work.  [`PalPoolBuilder::grain`] pins the floor and
+    /// disables the oversubscription rule;
+    /// [`PalPoolBuilder::no_adaptive_grain`] restores the legacy fixed
+    /// `4·p` blocking exactly.
+    ///
+    /// The policy is a pure function of `(len, p, configuration)` — never
+    /// of the observed schedule — so a primitive's fork count (`blocks −
+    /// 1` per parallel pass over `chunk_count(len)` blocks with balanced
+    /// boundaries `c·len/chunks`) stays exact and schedule-independent,
+    /// and tests can predict it by calling this method.
     /// [`for_each_index`](PalPool::for_each_index) and
-    /// [`map_reduce`](PalPool::map_reduce) use it as an upper bound only —
-    /// their fixed-size chunking (`len.div_ceil(chunks)` per chunk) may
-    /// produce fewer chunks than this.
-    ///
-    /// [s]: PalPool::scan
+    /// [`map_reduce`](PalPool::map_reduce) do **not** use this policy:
+    /// their per-index cost is an opaque closure (a dynamic-programming
+    /// cell can cost microseconds), so they keep the fixed `4·p` chunk
+    /// bound of [`index_chunk_count`](PalPool::index_chunk_count).
     pub fn chunk_count(&self, len: usize) -> usize {
+        self.grain.chunks(len, self.processors)
+    }
+
+    /// Chunk-count bound for the index-space helpers
+    /// ([`for_each_index`](PalPool::for_each_index) /
+    /// [`map_reduce`](PalPool::map_reduce)): the legacy `4·p` clamped to
+    /// `[1, len]`, with no element-cost floor — one index may hide
+    /// arbitrary work, so the element cost model behind
+    /// [`chunk_count`](PalPool::chunk_count) does not apply.  Their
+    /// fixed-size chunking (`len.div_ceil(chunks)` per chunk) may produce
+    /// fewer chunks than this bound.
+    pub fn index_chunk_count(&self, len: usize) -> usize {
         (self.processors * 4).clamp(1, len)
     }
 }
@@ -468,6 +566,8 @@ pub struct PalPoolBuilder {
     max_processors: Option<usize>,
     /// `Some(α)` applies the `⌈α·log₂ p⌉` throttle; `None` disables it.
     alpha: Option<f64>,
+    /// Blocking policy for the data-parallel primitives.
+    grain: Grain,
 }
 
 impl Default for PalPoolBuilder {
@@ -477,6 +577,7 @@ impl Default for PalPoolBuilder {
             policy: None,
             max_processors: None,
             alpha: Some(DEFAULT_CUTOFF_ALPHA),
+            grain: Grain::Adaptive { min: DEFAULT_GRAIN },
         }
     }
 }
@@ -516,6 +617,31 @@ impl PalPoolBuilder {
         self
     }
 
+    /// Pin the blocked primitives' grain: at most `4·p` blocks of at
+    /// least `min_grain` elements each, with the steal-informed `8·p`
+    /// oversubscription rule disabled.  `min_grain = 1` is exactly the
+    /// legacy fixed-`4p` blocking (see
+    /// [`no_adaptive_grain`](PalPoolBuilder::no_adaptive_grain)).
+    ///
+    /// Pinning makes [`chunk_count`](PalPool::chunk_count) — and hence
+    /// every primitive's fork count — a closed-form function of `(len,
+    /// p, min_grain)`, which is what the smoke-test paths use to assert
+    /// fork accounting exactly.
+    pub fn grain(mut self, min_grain: usize) -> Self {
+        self.grain = Grain::Fixed {
+            min: min_grain.max(1),
+        };
+        self
+    }
+
+    /// Restore the legacy fixed-`4p` blocking: no cost-model floor for
+    /// small inputs, no steal-informed oversubscription.  Equivalent to
+    /// [`grain(1)`](PalPoolBuilder::grain); kept as a named escape hatch
+    /// for ablations and before/after benchmarks.
+    pub fn no_adaptive_grain(self) -> Self {
+        self.grain(1)
+    }
+
     /// Build the pool.
     pub fn build(self) -> Result<PalPool> {
         let p = match (self.processors, self.policy) {
@@ -534,7 +660,7 @@ impl PalPoolBuilder {
                 });
             }
         }
-        PalPool::with_cutoff(p, self.alpha)
+        PalPool::with_cutoff(p, self.alpha, self.grain)
     }
 }
 
@@ -753,6 +879,49 @@ mod tests {
         assert_eq!(pool.cutoff_depth(), Some(2));
         let pool = PalPool::builder().processors(4).build().unwrap();
         assert_eq!(pool.cutoff_depth(), Some(4), "default α = 2");
+    }
+
+    #[test]
+    fn builder_grain_controls_blocking() {
+        // Default adaptive policy: cost floor on small inputs, 4p cap in
+        // the mid range, steal-informed 8p on large inputs.
+        let pool = PalPool::new(4).unwrap();
+        assert_eq!(pool.chunk_count(100), 1);
+        assert_eq!(pool.chunk_count(100_000), 16);
+        assert_eq!(pool.chunk_count(1 << 20), 32);
+        // The index helpers keep the legacy bound regardless.
+        assert_eq!(pool.index_chunk_count(100), 16);
+
+        // Pinned grain: explicit floor, oversubscription rule off.
+        let pinned = PalPool::builder().processors(4).grain(64).build().unwrap();
+        assert_eq!(pinned.chunk_count(1 << 20), 16);
+        assert_eq!(pinned.chunk_count(128), 2);
+
+        // Legacy escape hatch: exactly the old fixed-4p blocking.
+        let legacy = PalPool::builder()
+            .processors(4)
+            .no_adaptive_grain()
+            .build()
+            .unwrap();
+        assert_eq!(legacy.chunk_count(10), 10);
+        assert_eq!(legacy.chunk_count(100), 16);
+        assert_eq!(legacy.chunk_count(1 << 20), 16);
+    }
+
+    #[test]
+    fn workspace_counters_flow_into_metrics() {
+        let pool = PalPool::new(2).unwrap();
+        {
+            let mut buf = pool.workspace().checkout::<u64>();
+            buf.resize(1000, 0);
+        }
+        drop(pool.workspace().checkout::<u64>()); // a hit, no growth
+        let m = pool.metrics();
+        assert_eq!(m.arena_hits(), 1);
+        assert!(m.arena_bytes() >= 8000);
+        let bytes = m.arena_bytes();
+        // Delta sync: re-reading metrics must not double-count.
+        assert_eq!(pool.metrics().arena_bytes(), bytes);
     }
 
     #[test]

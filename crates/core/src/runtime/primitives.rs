@@ -13,18 +13,60 @@
 //! scan over `Θ(p)` blocks is work-optimal, and the block loop is a plain
 //! balanced divide-and-conquer — i.e. exactly the pal-thread shape of §3.1.
 //!
-//! Every primitive here is built on [`PalPool::join`]: the block range is
-//! split by a balanced binary fork tree, so the primitives inherit the
+//! # Allocation-free steady state
+//!
+//! Every primitive routes its internal scratch — block sums, survivor
+//! counts, output boundaries — through the pool's [`Workspace`] arena
+//! (grow-only, reused across calls; see [`PalPool::workspace`]), and every
+//! `Vec`-returning primitive has an `_in`-suffixed twin
+//! ([`scan_in`](PalPool::scan_in), [`pack_in`](PalPool::pack_in),
+//! [`map_collect_in`](PalPool::map_collect_in),
+//! [`expand_in`](PalPool::expand_in), [`scan_copy_in`](PalPool::scan_copy_in))
+//! that writes into a **caller-provided buffer** instead of allocating the
+//! output.  The `_in` contract: on return the buffer holds exactly the
+//! result; its contents on entry are never read (retained slots are
+//! overwritten in place rather than re-initialized, so a steady-state
+//! call pays neither an allocation nor a clear+refill memset — only
+//! capacity carries over; if the operator panics mid-pass the buffer may
+//! be left with stale contents).  A caller that keeps the buffer (or
+//! checks it out of the workspace) therefore performs zero allocations
+//! per call once capacities are warm.  That is the GBBS
+//! recipe: a steady-state BFS level runs scan, pack and the candidate
+//! expansion without touching the allocator at all.
+//!
+//! `pack` is fused: the survivor counts are scanned **in place** inside
+//! one small arena buffer that doubles as the output boundaries, so no
+//! per-element flag vector and no offset vector ever materializes, and
+//! `expand` reduces the degree scan to per-block sums (only block *start*
+//! offsets are needed — the full element-wise prefix vector of the old
+//! three-pass formulation is gone).  For `Copy` elements,
+//! [`scan_copy`](PalPool::scan_copy) replaces the general version's
+//! per-element `clone()` chains with by-value accumulation (memcpy-style
+//! writes, no `&T -> T` round trips).
+//!
+//! # Fork accounting
+//!
+//! Every primitive is built on [`PalPool::join`]: the block range is split
+//! by a balanced binary fork tree, so the primitives inherit the
 //! `⌈α·log₂ p⌉` sequential cutoff (deep forks are elided into plain calls)
 //! and the [`RunMetrics`](crate::RunMetrics) accounting — each primitive
 //! call contributes a deterministic number of forks, all of them visible as
-//! `spawned + inlined + elided` in [`PalPool::metrics`].  With `C`
-//! blocks ([`PalPool::chunk_count`]) on a non-empty input, a
-//! [`map_collect`](PalPool::map_collect) or
-//! [`reduce_by_index`](PalPool::reduce_by_index) costs `C − 1` forks (one
-//! parallel pass), a [`scan`](PalPool::scan) or [`pack`](PalPool::pack)
-//! costs `2·(C − 1)` (two passes), and an [`expand`](PalPool::expand) costs
-//! `3·(C − 1)` (a scan plus a write pass).
+//! `spawned + inlined + elided` in [`PalPool::metrics`].  The block count
+//! `C` = [`PalPool::chunk_count`]`(len)` comes from the **adaptive grain
+//! policy** ([`policy::grain_size`](crate::policy::grain_size)): a pure
+//! function of `(len, p, builder configuration)` — small inputs collapse
+//! to one block (zero forks) under the cost-model floor, large inputs
+//! split up to `8p` ways under the steal-amortization rule, and the count
+//! never depends on the observed schedule, so the table below is exact on
+//! any host.  With `C` blocks on a non-empty input:
+//!
+//! | primitive | forks |
+//! |-----------|-------|
+//! | [`map_collect`](PalPool::map_collect) / [`map_collect_in`](PalPool::map_collect_in) | `C − 1` |
+//! | [`reduce_by_index`](PalPool::reduce_by_index) | `C − 1` |
+//! | [`scan`](PalPool::scan) / [`scan_in`](PalPool::scan_in) / [`scan_copy`](PalPool::scan_copy) | `2·(C − 1)` |
+//! | [`pack`](PalPool::pack) / [`pack_in`](PalPool::pack_in) | `2·(C − 1)` (`C − 1` when nothing survives) |
+//! | [`expand`](PalPool::expand) / [`expand_in`](PalPool::expand_in) | `2·(C − 1)` (block sums + write pass) |
 //!
 //! The slices handed to worker blocks are produced by recursive
 //! `split_at_mut`, so the module needs no `unsafe` and no interior
@@ -46,14 +88,40 @@ pub struct Scan<T> {
     pub total: T,
 }
 
+/// Start of block `c` when `len` elements are split into `chunks` balanced
+/// blocks (sizes differ by at most one; every block non-empty because
+/// [`PalPool::chunk_count`] guarantees `chunks <= len`).
+#[inline]
+fn block_start(len: usize, chunks: usize, c: usize) -> usize {
+    c * len / chunks
+}
+
+/// Set `buf` to exactly `len` slots for a pass that **overwrites every
+/// slot**: existing elements are kept in place (never re-initialized — the
+/// pass never reads them), only growth is filled with `fill()`.  On the
+/// steady state (`buf.len() == len` already) this is free, where a
+/// `clear()` + `resize()` would memset the whole buffer per call.
+fn prepare_slots<T: Clone>(buf: &mut Vec<T>, len: usize, fill: impl FnOnce() -> T) {
+    buf.truncate(len);
+    if buf.len() < len {
+        buf.resize(len, fill());
+    }
+}
+
 impl PalPool {
     /// Exclusive prefix scan of `input` under the associative operator
     /// `op` with identity `identity`.
     ///
     /// Blocked two-pass algorithm: block reductions in parallel, a
-    /// sequential exclusive scan over the `O(p)` block sums, then parallel
-    /// per-block prefix writes.  `op` must be associative (the usual scan
-    /// contract); the result is then independent of the blocking.
+    /// sequential exclusive scan over the `O(p)` block sums (in place, in
+    /// an arena buffer), then parallel per-block prefix writes.  `op` must
+    /// be associative (the usual scan contract); the result is then
+    /// independent of the blocking.
+    ///
+    /// Allocates only the returned `exclusive` vector —
+    /// [`scan_in`](PalPool::scan_in) writes into a caller buffer instead,
+    /// and [`scan_copy`](PalPool::scan_copy) is the by-value fast path for
+    /// `Copy` elements.
     ///
     /// Costs `2·(C − 1)` pal-thread forks for `C =
     /// `[`chunk_count`](PalPool::chunk_count)`(input.len())` blocks (zero
@@ -62,107 +130,211 @@ impl PalPool {
     /// [`metrics`](PalPool::metrics).
     pub fn scan<T, F>(&self, input: &[T], identity: T, op: F) -> Scan<T>
     where
-        T: Clone + Send + Sync,
+        T: Clone + Send + Sync + 'static,
+        F: Fn(&T, &T) -> T + Sync,
+    {
+        let mut exclusive = Vec::new();
+        let total = self.scan_in(input, identity, op, &mut exclusive);
+        Scan { exclusive, total }
+    }
+
+    /// [`scan`](PalPool::scan) into a caller-provided buffer: `exclusive`
+    /// is cleared and refilled with the exclusive prefixes (its previous
+    /// contents are irrelevant, its capacity is reused), and the total
+    /// reduction is returned.
+    ///
+    /// Together with the workspace arena this makes repeated scans
+    /// allocation-free: all internal scratch is checked out of
+    /// [`PalPool::workspace`], so after the first call on a given input
+    /// size neither the scratch nor (given a warm `exclusive`) the output
+    /// grows.  Fork cost is identical to [`scan`](PalPool::scan).
+    pub fn scan_in<T, F>(&self, input: &[T], identity: T, op: F, exclusive: &mut Vec<T>) -> T
+    where
+        T: Clone + Send + Sync + 'static,
         F: Fn(&T, &T) -> T + Sync,
     {
         let n = input.len();
         if n == 0 {
-            return Scan {
-                exclusive: Vec::new(),
-                total: identity,
-            };
+            exclusive.clear();
+            return identity;
         }
         let chunks = self.chunk_count(n);
-        let bounds = balanced_bounds(n, chunks);
 
-        // Pass 1 (upsweep): one reduction per block, in parallel.
-        let mut sums = vec![identity.clone(); chunks];
-        self.blocked_uneven_mut(&mut sums, &unit_bounds(chunks), |chunk, slot| {
+        // Pass 1 (upsweep): one reduction per block, in parallel, into an
+        // arena buffer.
+        let mut sums = self.workspace().checkout::<T>();
+        sums.resize(chunks, identity.clone());
+        self.blocked_balanced_mut(&mut sums, chunks, |c, slot| {
             let mut acc = identity.clone();
-            for x in &input[bounds[chunk]..bounds[chunk + 1]] {
+            for x in &input[block_start(n, chunks, c)..block_start(n, chunks, c + 1)] {
                 acc = op(&acc, x);
             }
             slot[0] = acc;
         });
 
-        // Sequential exclusive scan over the O(p) block sums.
+        // Sequential exclusive scan of the block sums, in place: sums[c]
+        // becomes the scanned offset of block c.
         let mut acc = identity.clone();
-        let offsets: Vec<T> = sums
-            .iter()
-            .map(|s| {
-                let before = acc.clone();
-                acc = op(&acc, s);
-                before
-            })
-            .collect();
+        for s in sums.iter_mut() {
+            let next = op(&acc, s);
+            *s = std::mem::replace(&mut acc, next);
+        }
         let total = acc;
 
         // Pass 2 (downsweep): each block writes its exclusive prefixes,
         // seeded with the scanned block offset.
-        let mut exclusive = vec![identity; n];
-        self.blocked_uneven_mut(&mut exclusive, &bounds, |chunk, out| {
-            let mut acc = offsets[chunk].clone();
-            for (slot, x) in out.iter_mut().zip(&input[bounds[chunk]..]) {
+        prepare_slots(exclusive, n, || identity);
+        let sums = &sums;
+        self.blocked_balanced_mut(exclusive, chunks, |c, out| {
+            let mut acc = sums[c].clone();
+            for (slot, x) in out.iter_mut().zip(&input[block_start(n, chunks, c)..]) {
                 *slot = acc.clone();
                 acc = op(&acc, x);
             }
         });
+        total
+    }
+
+    /// The `Copy` fast path of [`scan`](PalPool::scan): operator and
+    /// accumulator move **by value**, so the inner loops are plain
+    /// register accumulation and memcpy-style slot writes — no `clone()`
+    /// chain, no `&T -> T` round trip per element.
+    ///
+    /// Same contract and fork cost as [`scan`](PalPool::scan).
+    pub fn scan_copy<T, F>(&self, input: &[T], identity: T, op: F) -> Scan<T>
+    where
+        T: Copy + Send + Sync + 'static,
+        F: Fn(T, T) -> T + Sync,
+    {
+        let mut exclusive = Vec::new();
+        let total = self.scan_copy_in(input, identity, op, &mut exclusive);
         Scan { exclusive, total }
+    }
+
+    /// [`scan_copy`](PalPool::scan_copy) into a caller-provided buffer
+    /// (same clear-and-refill contract as [`scan_in`](PalPool::scan_in)).
+    pub fn scan_copy_in<T, F>(&self, input: &[T], identity: T, op: F, exclusive: &mut Vec<T>) -> T
+    where
+        T: Copy + Send + Sync + 'static,
+        F: Fn(T, T) -> T + Sync,
+    {
+        let n = input.len();
+        if n == 0 {
+            exclusive.clear();
+            return identity;
+        }
+        let chunks = self.chunk_count(n);
+
+        let mut sums = self.workspace().checkout::<T>();
+        sums.resize(chunks, identity);
+        self.blocked_balanced_mut(&mut sums, chunks, |c, slot| {
+            let mut acc = identity;
+            for &x in &input[block_start(n, chunks, c)..block_start(n, chunks, c + 1)] {
+                acc = op(acc, x);
+            }
+            slot[0] = acc;
+        });
+
+        let mut acc = identity;
+        for s in sums.iter_mut() {
+            let block = *s;
+            *s = acc;
+            acc = op(acc, block);
+        }
+        let total = acc;
+
+        prepare_slots(exclusive, n, || identity);
+        let sums = &sums;
+        self.blocked_balanced_mut(exclusive, chunks, |c, out| {
+            let mut acc = sums[c];
+            for (slot, &x) in out.iter_mut().zip(&input[block_start(n, chunks, c)..]) {
+                *slot = acc;
+                acc = op(acc, x);
+            }
+        });
+        total
     }
 
     /// Keep exactly the elements for which `keep(index, &element)` is true,
     /// in their original order (parallel filter / stream compaction).
     ///
-    /// Blocked two-pass algorithm: per-block survivor counts in parallel, a
-    /// sequential scan of the counts, then parallel writes into disjoint
-    /// output regions.  `keep` is called **twice** per element (once to
-    /// count, once to write) and must therefore be pure.
+    /// Fused count+scatter pipeline: per-block survivor counts land in one
+    /// small arena buffer, are exclusive-scanned **in place** into the
+    /// output boundaries, and each block then re-filters straight into its
+    /// disjoint region of the output — no per-element flag vector, no
+    /// offset vector, no intermediate compaction buffer.  `keep` is called
+    /// **twice** per element (once to count, once to write) and must
+    /// therefore be pure.
     ///
-    /// Costs `2·(C − 1)` forks for `C` blocks, like [`scan`](PalPool::scan)
-    /// (`C − 1` when no element survives — the write pass is skipped).
+    /// Allocates only the returned vector ([`pack_in`](PalPool::pack_in)
+    /// doesn't even do that).  Costs `2·(C − 1)` forks for `C` blocks,
+    /// like [`scan`](PalPool::scan) (`C − 1` when no element survives —
+    /// the write pass is skipped).
     pub fn pack<T, F>(&self, input: &[T], keep: F) -> Vec<T>
     where
-        T: Clone + Send + Sync,
+        T: Clone + Send + Sync + 'static,
+        F: Fn(usize, &T) -> bool + Sync,
+    {
+        let mut out = Vec::new();
+        self.pack_in(input, keep, &mut out);
+        out
+    }
+
+    /// [`pack`](PalPool::pack) into a caller-provided buffer: `out` is
+    /// cleared and refilled with the survivors (capacity reused), making
+    /// repeated packs — e.g. the frontier compaction of every BFS level —
+    /// fully allocation-free once warm.  Fork cost is identical to
+    /// [`pack`](PalPool::pack).
+    pub fn pack_in<T, F>(&self, input: &[T], keep: F, out: &mut Vec<T>)
+    where
+        T: Clone + Send + Sync + 'static,
         F: Fn(usize, &T) -> bool + Sync,
     {
         let n = input.len();
         if n == 0 {
-            return Vec::new();
+            out.clear();
+            return;
         }
         let chunks = self.chunk_count(n);
-        let bounds = balanced_bounds(n, chunks);
 
-        // Pass 1: count survivors per block.
-        let mut counts = vec![0usize; chunks];
-        self.blocked_uneven_mut(&mut counts, &unit_bounds(chunks), |chunk, slot| {
-            let lo = bounds[chunk];
-            slot[0] = input[lo..bounds[chunk + 1]]
+        // Pass 1: count survivors per block, into the boundary buffer.
+        let mut bounds = self.workspace().checkout::<usize>();
+        bounds.resize(chunks + 1, 0);
+        self.blocked_balanced_mut(&mut bounds[..chunks], chunks, |c, slot| {
+            let lo = block_start(n, chunks, c);
+            slot[0] = input[lo..block_start(n, chunks, c + 1)]
                 .iter()
                 .enumerate()
                 .filter(|(i, x)| keep(lo + i, x))
                 .count();
         });
 
-        // Sequential scan of block counts into output boundaries.
-        let out_bounds = exclusive_bounds(&counts);
-        let total = out_bounds[chunks];
+        // Fused scan: the counts become output boundaries in place.
+        let mut acc = 0usize;
+        for c in 0..chunks {
+            let count = bounds[c];
+            bounds[c] = acc;
+            acc += count;
+        }
+        bounds[chunks] = acc;
+        let total = acc;
         if total == 0 {
-            return Vec::new();
+            out.clear();
+            return;
         }
 
         // Pass 2: re-filter each block into its disjoint output region.
-        let mut out = vec![input[0].clone(); total];
-        self.blocked_uneven_mut(&mut out, &out_bounds, |chunk, region| {
-            let lo = bounds[chunk];
+        prepare_slots(out, total, || input[0].clone());
+        self.blocked_uneven_mut(out, &bounds, |c, region| {
+            let lo = block_start(n, chunks, c);
             let mut slots = region.iter_mut();
-            for (i, x) in input[lo..bounds[chunk + 1]].iter().enumerate() {
+            for (i, x) in input[lo..block_start(n, chunks, c + 1)].iter().enumerate() {
                 if keep(lo + i, x) {
                     *slots.next().expect("keep must be pure: count == write") = x.clone();
                 }
             }
             assert!(slots.next().is_none(), "keep must be pure: count == write");
         });
-        out
     }
 
     /// CSR-style expansion: allocate `sizes.iter().sum()` output slots and
@@ -170,49 +342,73 @@ impl PalPool {
     /// (in index order) to fill via `write(i, slice)`.
     ///
     /// This is the scan-based "edge map" building block of frontier BFS:
-    /// `sizes` are the frontier degrees, the offsets come from a parallel
-    /// [`scan`](PalPool::scan), and each frontier vertex writes its
-    /// neighbour candidates into its own region.  Slots `write` leaves
+    /// `sizes` are the frontier degrees, and each frontier vertex writes
+    /// its neighbour candidates into its own region.  The degree scan is
+    /// fused: only per-block sums are computed and scanned in place in an
+    /// arena buffer (the write pass walks each block sequentially, so
+    /// per-element offsets are never materialized).  Slots `write` leaves
     /// untouched keep the `fill` value.  Unlike [`pack`](PalPool::pack)'s
     /// predicate, `write` is called exactly once per index, so it may have
     /// side effects.
     ///
-    /// Costs `3·(C − 1)` forks for `C =
-    /// `[`chunk_count`](PalPool::chunk_count)`(sizes.len())` blocks: a scan
-    /// of `sizes` plus one write pass.
+    /// Costs `2·(C − 1)` forks for `C =
+    /// `[`chunk_count`](PalPool::chunk_count)`(sizes.len())` blocks: block
+    /// sums plus one write pass.
     pub fn expand<T, F>(&self, sizes: &[usize], fill: T, write: F) -> Vec<T>
     where
-        T: Clone + Send + Sync,
+        T: Clone + Send + Sync + 'static,
         F: Fn(usize, &mut [T]) + Sync,
     {
+        let mut out = Vec::new();
+        self.expand_in(sizes, fill, write, &mut out);
+        out
+    }
+
+    /// [`expand`](PalPool::expand) into a caller-provided buffer (cleared
+    /// and refilled; capacity reused).  Fork cost is identical to
+    /// [`expand`](PalPool::expand).
+    pub fn expand_in<T, F>(&self, sizes: &[usize], fill: T, write: F, out: &mut Vec<T>)
+    where
+        T: Clone + Send + Sync + 'static,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        out.clear();
         let n = sizes.len();
         if n == 0 {
-            return Vec::new();
+            return;
         }
         let chunks = self.chunk_count(n);
-        let item_bounds = balanced_bounds(n, chunks);
 
-        let offsets = self.scan(sizes, 0usize, |a, b| a + b);
-        let total = offsets.total;
-        let mut out = vec![fill; total];
+        // Block sums of `sizes`, scanned in place into each block's start
+        // offset in the output.
+        let mut bounds = self.workspace().checkout::<usize>();
+        bounds.resize(chunks + 1, 0);
+        self.blocked_balanced_mut(&mut bounds[..chunks], chunks, |c, slot| {
+            slot[0] = sizes[block_start(n, chunks, c)..block_start(n, chunks, c + 1)]
+                .iter()
+                .sum();
+        });
+        let mut acc = 0usize;
+        for c in 0..chunks {
+            let sum = bounds[c];
+            bounds[c] = acc;
+            acc += sum;
+        }
+        bounds[chunks] = acc;
 
-        // Block boundaries in the output: the scanned offset of each
-        // block's first item.
-        let mut out_bounds: Vec<usize> = (0..chunks)
-            .map(|c| offsets.exclusive[item_bounds[c]])
-            .collect();
-        out_bounds.push(total);
-
-        self.blocked_uneven_mut(&mut out, &out_bounds, |chunk, region| {
+        // Write pass: each block walks its items, carving regions off its
+        // output range (`write` runs exactly once per index, even for
+        // size-0 regions).
+        out.resize(acc, fill);
+        self.blocked_uneven_mut(out, &bounds, |c, region| {
             let mut rest = region;
-            let lo = item_bounds[chunk];
-            for (i, &size) in sizes[lo..item_bounds[chunk + 1]].iter().enumerate() {
+            let lo = block_start(n, chunks, c);
+            for (i, &size) in sizes[lo..block_start(n, chunks, c + 1)].iter().enumerate() {
                 let (head, tail) = rest.split_at_mut(size);
                 write(lo + i, head);
                 rest = tail;
             }
         });
-        out
     }
 
     /// Apply `map` to every index in `range` and collect the results in
@@ -222,23 +418,35 @@ impl PalPool {
     /// Costs `C − 1` forks for `C` blocks (a single parallel pass).
     pub fn map_collect<T, F>(&self, range: Range<usize>, map: F) -> Vec<T>
     where
-        T: Clone + Default + Send + Sync,
+        T: Clone + Default + Send + Sync + 'static,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out = Vec::new();
+        self.map_collect_in(range, map, &mut out);
+        out
+    }
+
+    /// [`map_collect`](PalPool::map_collect) into a caller-provided buffer
+    /// (cleared and refilled; capacity reused).  Fork cost is identical to
+    /// [`map_collect`](PalPool::map_collect).
+    pub fn map_collect_in<T, F>(&self, range: Range<usize>, map: F, out: &mut Vec<T>)
+    where
+        T: Clone + Default + Send + Sync + 'static,
         F: Fn(usize) -> T + Sync,
     {
         let len = range.end.saturating_sub(range.start);
-        let mut out = vec![T::default(); len];
         if len == 0 {
-            return out;
+            out.clear();
+            return;
         }
+        prepare_slots(out, len, T::default);
         let chunks = self.chunk_count(len);
-        let bounds = balanced_bounds(len, chunks);
-        self.blocked_uneven_mut(&mut out, &bounds, |chunk, slots| {
-            let lo = range.start + bounds[chunk];
+        self.blocked_balanced_mut(out, chunks, |c, slots| {
+            let lo = range.start + block_start(len, chunks, c);
             for (k, slot) in slots.iter_mut().enumerate() {
                 *slot = map(lo + k);
             }
         });
-        out
     }
 
     /// Bucketed reduction over an index range: `map(i)` names a bucket and
@@ -246,11 +454,17 @@ impl PalPool {
     /// `reduce` starting from `identity` — a parallel histogram when the
     /// contribution is `1`.
     ///
-    /// Each block folds into a private bucket array (no shared-memory
-    /// contention — the LoPRAM has `O(log n)` processors, so the private
-    /// arrays cost `O(buckets · log n)` space), and the block arrays are
-    /// merged sequentially at the end.  `reduce` must be associative and
-    /// commutative for the result to be independent of the blocking.
+    /// Two arena-backed layouts, chosen by bucket density.  **Dense**
+    /// (`buckets` at most ~a block's length): one flat `C × buckets`
+    /// scratch buffer, each block folding into its own row, rows merged
+    /// sequentially at the end.  **Sparse** (`buckets` much larger than a
+    /// block — the regime where the old per-block `vec![identity;
+    /// buckets]` wasted `O(C · buckets)` work and memory on mostly-idle
+    /// buckets): each block records one `(bucket, value)` pair per index
+    /// and the pairs are folded sequentially in index order, so the
+    /// per-call footprint is `O(len)` regardless of the bucket count.
+    /// `reduce` must be associative and commutative for the result to be
+    /// independent of the blocking (both layouts then agree exactly).
     ///
     /// Costs `C − 1` forks for `C` blocks.
     ///
@@ -266,7 +480,7 @@ impl PalPool {
         reduce: R,
     ) -> Vec<T>
     where
-        T: Clone + Send + Sync,
+        T: Clone + Send + Sync + 'static,
         M: Fn(usize) -> (usize, T) + Sync,
         R: Fn(&T, &T) -> T + Sync,
     {
@@ -276,30 +490,94 @@ impl PalPool {
             return out;
         }
         let chunks = self.chunk_count(len);
-        let bounds = balanced_bounds(len, chunks);
+        let block_span = len.div_ceil(chunks);
 
-        let mut partials: Vec<Vec<T>> = vec![Vec::new(); chunks];
-        self.blocked_uneven_mut(&mut partials, &unit_bounds(chunks), |chunk, slot| {
-            let lo = range.start + bounds[chunk];
-            let hi = range.start + bounds[chunk + 1];
-            let mut local = vec![identity.clone(); buckets];
-            for i in lo..hi {
-                let (bucket, value) = map(i);
-                assert!(
-                    bucket < buckets,
-                    "reduce_by_index: bucket {bucket} out of range (buckets = {buckets})"
-                );
-                local[bucket] = reduce(&local[bucket], &value);
+        let check = |bucket: usize| {
+            assert!(
+                bucket < buckets,
+                "reduce_by_index: bucket {bucket} out of range (buckets = {buckets})"
+            );
+        };
+
+        if buckets <= 2 * block_span {
+            // Dense: one row of buckets per block in a single flat arena
+            // buffer (row c = partials[c*buckets..(c+1)*buckets]).
+            let mut partials = self.workspace().checkout::<T>();
+            partials.resize(chunks * buckets, identity.clone());
+            self.blocked_balanced_mut(&mut partials, chunks, |c, row| {
+                let lo = range.start + block_start(len, chunks, c);
+                let hi = range.start + block_start(len, chunks, c + 1);
+                for i in lo..hi {
+                    let (bucket, value) = map(i);
+                    check(bucket);
+                    row[bucket] = reduce(&row[bucket], &value);
+                }
+            });
+            for row in partials.chunks_exact(buckets) {
+                for (acc, v) in out.iter_mut().zip(row) {
+                    *acc = reduce(acc, v);
+                }
             }
-            slot[0] = local;
-        });
-
-        for local in &partials {
-            for (acc, v) in out.iter_mut().zip(local) {
-                *acc = reduce(acc, v);
+        } else {
+            // Sparse: one (bucket, contribution) pair per index, folded
+            // sequentially in index order.
+            let mut pairs = self.workspace().checkout::<(usize, T)>();
+            pairs.resize(len, (0, identity.clone()));
+            self.blocked_balanced_mut(&mut pairs, chunks, |c, slots| {
+                let lo = range.start + block_start(len, chunks, c);
+                for (k, slot) in slots.iter_mut().enumerate() {
+                    let (bucket, value) = map(lo + k);
+                    check(bucket);
+                    *slot = (bucket, value);
+                }
+            });
+            for (bucket, value) in pairs.iter() {
+                out[*bucket] = reduce(&out[*bucket], value);
             }
         }
         out
+    }
+
+    /// Run `f(block, slice)` for every one of `chunks` balanced blocks of
+    /// `data` (block `c` spans `data[c·len/chunks .. (c+1)·len/chunks]`),
+    /// splitting over pal-threads with a balanced binary
+    /// [`join`](PalPool::join) tree — `chunks − 1` forks.  The boundaries
+    /// are pure arithmetic, so no bounds vector is ever materialized;
+    /// disjointness comes from recursive `split_at_mut`.
+    fn blocked_balanced_mut<T, F>(&self, data: &mut [T], chunks: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        fn go<T, F>(
+            pool: &PalPool,
+            first: usize,
+            count: usize,
+            data: &mut [T],
+            len: usize,
+            chunks: usize,
+            f: &F,
+        ) where
+            T: Send,
+            F: Fn(usize, &mut [T]) + Sync,
+        {
+            if count <= 1 {
+                f(first, data);
+                return;
+            }
+            let left = count / 2;
+            let split = block_start(len, chunks, first + left) - block_start(len, chunks, first);
+            let (lo, hi) = data.split_at_mut(split);
+            pool.join(
+                || go(pool, first, left, lo, len, chunks, f),
+                || go(pool, first + left, count - left, hi, len, chunks, f),
+            );
+        }
+        if chunks == 0 {
+            return;
+        }
+        let len = data.len();
+        go(self, 0, chunks, data, len, chunks, &f);
     }
 
     /// Run `f(chunk, slice)` for every block of `data`, where block `c`
@@ -344,34 +622,6 @@ impl PalPool {
     }
 }
 
-/// Balanced block boundaries: `bounds[c] = c·len/chunks`, so the `chunks`
-/// blocks cover `0..len` with sizes differing by at most one and — because
-/// [`PalPool::chunk_count`] guarantees `chunks <= len` — every block
-/// non-empty.  The block count (and hence a primitive's fork count) is
-/// therefore exactly [`PalPool::chunk_count`]`(len)`.
-fn balanced_bounds(len: usize, chunks: usize) -> Vec<usize> {
-    (0..=chunks).map(|c| c * len / chunks).collect()
-}
-
-/// Boundaries for a one-slot-per-block array (`sums`, `counts`, per-block
-/// partials): block `c` owns exactly element `c`.
-fn unit_bounds(chunks: usize) -> Vec<usize> {
-    (0..=chunks).collect()
-}
-
-/// Exclusive prefix sums of `counts` with the grand total appended, i.e.
-/// block boundaries for blocked writes into disjoint output regions.
-fn exclusive_bounds(counts: &[usize]) -> Vec<usize> {
-    let mut bounds = Vec::with_capacity(counts.len() + 1);
-    let mut acc = 0usize;
-    for &c in counts {
-        bounds.push(acc);
-        acc += c;
-    }
-    bounds.push(acc);
-    bounds
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +650,43 @@ mod tests {
             assert_eq!(scan.exclusive, expected, "p = {p}");
             assert_eq!(scan.total, expected_total, "p = {p}");
         }
+    }
+
+    #[test]
+    fn scan_copy_matches_general_scan() {
+        let input: Vec<i64> = (0..2000).map(|i| (i * 31) % 257 - 128).collect();
+        for p in [1, 2, 4] {
+            let pool = PalPool::new(p).unwrap();
+            let general = pool.scan(&input, 0i64, |a, b| a + b);
+            let copy = pool.scan_copy(&input, 0i64, |a, b| a + b);
+            assert_eq!(copy, general, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn scan_in_reuses_the_buffer() {
+        let pool = PalPool::new(2).unwrap();
+        let input: Vec<u64> = (0..1500).collect();
+        let (expected, _) = {
+            let as_i64: Vec<i64> = input.iter().map(|&x| x as i64).collect();
+            seq_exclusive_scan(&as_i64)
+        };
+        let expected: Vec<u64> = expected.into_iter().map(|x| x as u64).collect();
+
+        let mut buf = vec![99u64; 3]; // stale contents must be irrelevant
+        let total = pool.scan_in(&input, 0u64, |a, b| a + b, &mut buf);
+        assert_eq!(buf, expected);
+        assert_eq!(total, 1499 * 1500 / 2);
+
+        // Second call into the same (now warm) buffer: same result, and
+        // the arena performed no new growth.
+        let grown = pool.workspace().stats().grown_bytes;
+        let cap = buf.capacity();
+        let total = pool.scan_copy_in(&input, 0u64, |a, b| a + b, &mut buf);
+        assert_eq!(buf, expected);
+        assert_eq!(total, 1499 * 1500 / 2);
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(pool.workspace().stats().grown_bytes, grown);
     }
 
     #[test]
@@ -463,6 +750,28 @@ mod tests {
     }
 
     #[test]
+    fn pack_in_clears_and_reuses_the_buffer() {
+        let pool = PalPool::new(4).unwrap();
+        let input: Vec<u32> = (0..2048).collect();
+        let mut out = vec![7u32; 5000];
+        pool.pack_in(&input, |_, x| x % 2 == 0, &mut out);
+        let expected: Vec<u32> = (0..2048).filter(|x| x % 2 == 0).collect();
+        assert_eq!(out, expected);
+
+        // Steady state: no arena growth, no buffer growth.
+        let grown = pool.workspace().stats().grown_bytes;
+        let cap = out.capacity();
+        pool.pack_in(&input, |_, x| x % 2 == 1, &mut out);
+        assert_eq!(out, (0..2048).filter(|x| x % 2 == 1).collect::<Vec<_>>());
+        assert_eq!(out.capacity(), cap);
+        assert_eq!(pool.workspace().stats().grown_bytes, grown);
+
+        // A keep-none pack leaves the buffer empty, not stale.
+        pool.pack_in(&input, |_, _| false, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
     fn pack_forks_are_fully_accounted() {
         let input: Vec<u32> = (0..513).collect();
         let pool = PalPool::new(2).unwrap();
@@ -493,6 +802,20 @@ mod tests {
     }
 
     #[test]
+    fn expand_forks_are_fully_accounted() {
+        // The fused expand costs block-sums + write = 2·(C − 1), down from
+        // the old three-pass 3·(C − 1).
+        let sizes: Vec<usize> = (0..3000).map(|i| i % 4).collect();
+        for p in [1usize, 2, 4] {
+            let pool = PalPool::new(p).unwrap();
+            let chunks = pool.chunk_count(sizes.len()) as u64;
+            let out = pool.expand(&sizes, 0usize, |i, region| region.fill(i));
+            assert_eq!(out.len(), sizes.iter().sum::<usize>());
+            assert_metrics_consistent(pool.metrics(), 2 * (chunks - 1));
+        }
+    }
+
+    #[test]
     fn map_collect_matches_direct_map() {
         for p in [1, 2, 4] {
             let pool = PalPool::new(p).unwrap();
@@ -505,12 +828,42 @@ mod tests {
     }
 
     #[test]
+    fn map_collect_in_reuses_the_buffer() {
+        let pool = PalPool::new(4).unwrap();
+        let mut out = Vec::new();
+        pool.map_collect_in(0..1000, |i| i as u64 * 3, &mut out);
+        assert_eq!(out.len(), 1000);
+        assert_eq!(out[999], 2997);
+        let cap = out.capacity();
+        pool.map_collect_in(0..1000, |i| i as u64, &mut out);
+        assert_eq!(out[999], 999);
+        assert_eq!(out.capacity(), cap);
+        pool.map_collect_in(3..3, |i| i as u64, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
     fn reduce_by_index_builds_histograms() {
         // Histogram of i % 5 over 0..1000: 200 in each bucket.
         for p in [1, 2, 4] {
             let pool = PalPool::new(p).unwrap();
             let hist = pool.reduce_by_index(0..1000, 5, 0u64, |i| (i % 5, 1), |a, b| a + b);
             assert_eq!(hist, vec![200; 5], "p = {p}");
+        }
+    }
+
+    #[test]
+    fn reduce_by_index_sparse_buckets_match_dense() {
+        // buckets >> block length forces the sparse (pair) layout; the
+        // dense layout is forced by pinning one block per element count.
+        for p in [1, 2, 4] {
+            let pool = PalPool::new(p).unwrap();
+            let sparse =
+                pool.reduce_by_index(0..64, 100_000, 0u64, |i| (i * 1000, 1), |a, b| a + b);
+            assert_eq!(sparse.iter().sum::<u64>(), 64, "p = {p}");
+            for i in 0..64 {
+                assert_eq!(sparse[i * 1000], 1, "p = {p}");
+            }
         }
     }
 
@@ -529,8 +882,14 @@ mod tests {
     #[test]
     fn reduce_by_index_rejects_out_of_range_buckets() {
         let pool = PalPool::new(1).unwrap();
+        // Dense layout.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pool.reduce_by_index(0..10, 2, 0u64, |i| (i, 1), |a, b| a + b)
+        }));
+        assert!(result.is_err());
+        // Sparse layout.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.reduce_by_index(0..10, 1000, 0u64, |_| (1000, 1), |a, b| a + b)
         }));
         assert!(result.is_err());
     }
@@ -547,5 +906,53 @@ mod tests {
         assert_eq!(m.spawned(), 0);
         assert_eq!(m.inlined(), 0);
         assert!(m.elided() > 0);
+    }
+
+    #[test]
+    fn steady_state_scan_and_pack_grow_no_arena() {
+        // The headline reuse property: after the first (warming) call,
+        // repeated primitives perform zero arena growth and every
+        // checkout is a hit.
+        let pool = PalPool::new(4).unwrap();
+        let input: Vec<u64> = (0..4096).collect();
+        let mut scanned = Vec::new();
+        let mut packed = Vec::new();
+        pool.scan_copy_in(&input, 0u64, |a, b| a + b, &mut scanned);
+        pool.pack_in(&input, |_, x| x % 3 == 0, &mut packed);
+        let warm = pool.workspace().stats();
+        for round in 0..5 {
+            pool.scan_copy_in(&input, 0u64, |a, b| a + b, &mut scanned);
+            pool.pack_in(&input, |_, x| x % 3 == 0, &mut packed);
+            let now = pool.workspace().stats();
+            assert_eq!(now.grown_bytes, warm.grown_bytes, "round {round}");
+            assert_eq!(
+                now.misses, warm.misses,
+                "round {round}: every checkout a hit"
+            );
+        }
+        let m = pool.metrics();
+        assert!(m.arena_hits() >= 10, "ten warm checkouts at minimum");
+        assert_eq!(m.arena_bytes(), pool.workspace().stats().grown_bytes);
+    }
+
+    #[test]
+    fn adaptive_grain_floors_small_inputs_to_one_block() {
+        // A 100-element scan on the default pool is below the cost-model
+        // floor: one block, zero forks — but the same input on a pinned
+        // grain-1 pool still forks the legacy 4p-way.
+        let pool = PalPool::new(4).unwrap();
+        assert_eq!(pool.chunk_count(100), 1);
+        let input: Vec<u64> = (0..100).collect();
+        pool.scan(&input, 0, |a, b| a + b);
+        assert_metrics_consistent(pool.metrics(), 0);
+
+        let legacy = PalPool::builder()
+            .processors(4)
+            .no_adaptive_grain()
+            .build()
+            .unwrap();
+        assert_eq!(legacy.chunk_count(100), 16);
+        legacy.scan(&input, 0, |a, b| a + b);
+        assert_metrics_consistent(legacy.metrics(), 2 * 15);
     }
 }

@@ -1,0 +1,283 @@
+//! The [`Workspace`]: a pool-owned scratch arena for the blocked
+//! data-parallel primitives and the kernels built on them.
+//!
+//! PR 3 drove the cost of an un-stolen fork down to ~13 ns, which moved
+//! the steady-state tax of the primitives layer from scheduling to
+//! *memory*: every `scan`/`pack`/`map_collect` call used to allocate
+//! fresh `Vec`s for its block sums, survivor counts and outputs, and a
+//! level-synchronous BFS re-paid that bill on every level.  GBBS-style
+//! work-efficient graph processing gets its speed precisely from reusing
+//! scratch across passes, so [`PalPool`](super::PalPool) now owns one
+//! `Workspace` and routes every primitive's internal scratch through it.
+//!
+//! # Lifecycle
+//!
+//! A buffer is **checked out** with [`Workspace::checkout`], which returns
+//! a [`WorkspaceGuard`] that derefs to a `Vec<T>` (always handed out
+//! *empty*, but with whatever capacity it accumulated in earlier lives).
+//! When the guard drops, the buffer is cleared (elements are dropped —
+//! the arena never keeps user values alive) and its allocation is
+//! returned to the workspace shelf for the next checkout of the same
+//! element type.  Buffers are therefore **grow-only**: capacity is never
+//! released until the pool itself is dropped, so a steady-state workload
+//! — the same primitive called over and over on same-sized inputs —
+//! performs *zero* allocations after its first call warms the shelves.
+//!
+//! Checkout is thread-safe (a mutex around the shelves, held only for the
+//! pop/push — never while user elements are dropped), so worker closures
+//! running on different processors can check out private scratch
+//! concurrently; each gets its own buffer.
+//!
+//! # Observability
+//!
+//! The arena counts [`hits`](WorkspaceStats::hits) (checkouts served by a
+//! shelved buffer), [`misses`](WorkspaceStats::misses) (checkouts that
+//! had to create a fresh `Vec`) and [`grown_bytes`](WorkspaceStats::grown_bytes)
+//! (cumulative bytes of capacity growth observed at check-in).  The pool
+//! folds these into [`RunMetrics`](crate::RunMetrics) as `arena_hits` /
+//! `arena_bytes`, and the reuse tests assert that `grown_bytes` stops
+//! moving once the shelves are warm.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// A thread-safe shelf of reusable, grow-only typed buffers.
+///
+/// Owned by [`PalPool`](super::PalPool) (one workspace per pool); see the
+/// [module docs](self) for the checkout/check-in lifecycle.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Idle buffers, keyed by element type.  Each value is a per-type
+    /// free list (`Vec<Vec<T>>` behind `dyn Any`, boxed **once** per
+    /// type): a checkout pops a buffer off the list, a guard drop pushes
+    /// it back — no per-cycle boxing, so a warm checkout/check-in round
+    /// trip performs zero allocations.
+    shelves: Mutex<HashMap<TypeId, Box<dyn Any + Send>>>,
+    /// Checkouts served by a shelved buffer.
+    hits: AtomicU64,
+    /// Checkouts that had to create a fresh (empty) buffer.
+    misses: AtomicU64,
+    /// Cumulative bytes of capacity growth recorded at check-in time
+    /// (`(capacity_in - capacity_out) * size_of::<T>()`, **signed** and
+    /// accumulated in two's complement so callers that swap buffer
+    /// contents between two live guards net out to zero instead of
+    /// fabricating growth).  Constant once the workload reaches its
+    /// steady state.
+    grown_bytes: AtomicU64,
+}
+
+impl Workspace {
+    /// Create an empty workspace (no shelved buffers, zeroed counters).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check out an empty `Vec<T>`, reusing a shelved buffer's capacity
+    /// when one is available.  The buffer returns to the workspace
+    /// (cleared, capacity kept) when the guard drops.
+    pub fn checkout<T: Send + 'static>(&self) -> WorkspaceGuard<'_, T> {
+        let shelved: Option<Vec<T>> =
+            self.shelves
+                .lock()
+                .get_mut(&TypeId::of::<T>())
+                .and_then(|list| {
+                    list.downcast_mut::<Vec<Vec<T>>>()
+                        .expect("shelf keyed by TypeId")
+                        .pop()
+                });
+        let buf = match shelved {
+            Some(buf) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                buf
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        };
+        WorkspaceGuard {
+            capacity_out: buf.capacity(),
+            buf: Some(buf),
+            workspace: self,
+        }
+    }
+
+    /// Snapshot of the arena counters.
+    pub fn stats(&self) -> WorkspaceStats {
+        WorkspaceStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            grown_bytes: self.grown_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Return a buffer to the shelf, recording any capacity growth since
+    /// checkout.  Elements were already dropped by the guard.
+    ///
+    /// The growth delta is signed: a guard that comes back *smaller* than
+    /// it was checked out (its capacity was moved into a sibling guard —
+    /// e.g. `mem::swap` of two buffers' contents) subtracts what the
+    /// sibling will over-report, so the counter tracks net allocation
+    /// traffic, not per-guard churn.
+    fn check_in<T: Send + 'static>(&self, buf: Vec<T>, capacity_out: usize) {
+        let delta = (buf.capacity() as i64 - capacity_out as i64) * std::mem::size_of::<T>() as i64;
+        if delta != 0 {
+            self.grown_bytes.fetch_add(delta as u64, Ordering::Relaxed);
+        }
+        self.shelves
+            .lock()
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(Vec::<Vec<T>>::new()))
+            .downcast_mut::<Vec<Vec<T>>>()
+            .expect("shelf keyed by TypeId")
+            .push(buf);
+    }
+}
+
+/// Point-in-time copy of a [`Workspace`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkspaceStats {
+    /// Checkouts served by a shelved buffer.
+    pub hits: u64,
+    /// Checkouts that created a fresh buffer.
+    pub misses: u64,
+    /// Cumulative bytes of buffer capacity growth (allocation traffic
+    /// that went through the arena).
+    pub grown_bytes: u64,
+}
+
+/// A checked-out workspace buffer; derefs to `Vec<T>` and returns the
+/// allocation to its [`Workspace`] on drop.
+#[derive(Debug)]
+pub struct WorkspaceGuard<'ws, T: Send + 'static> {
+    /// `Some` until drop; the `Option` lets drop move the `Vec` out.
+    buf: Option<Vec<T>>,
+    /// Capacity at checkout, so check-in can record growth.
+    capacity_out: usize,
+    workspace: &'ws Workspace,
+}
+
+impl<T: Send + 'static> Deref for WorkspaceGuard<'_, T> {
+    type Target = Vec<T>;
+    fn deref(&self) -> &Vec<T> {
+        self.buf.as_ref().expect("present until drop")
+    }
+}
+
+impl<T: Send + 'static> DerefMut for WorkspaceGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut Vec<T> {
+        self.buf.as_mut().expect("present until drop")
+    }
+}
+
+impl<T: Send + 'static> Drop for WorkspaceGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(mut buf) = self.buf.take() {
+            // Drop user elements *outside* the shelf lock.
+            buf.clear();
+            self.workspace.check_in(buf, self.capacity_out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_is_empty_and_reuses_capacity() {
+        let ws = Workspace::new();
+        {
+            let mut buf = ws.checkout::<u64>();
+            assert!(buf.is_empty());
+            buf.extend(0..1000);
+        }
+        let stats = ws.stats();
+        assert_eq!(stats.misses, 1);
+        assert!(stats.grown_bytes >= 1000 * 8);
+        let grown_before = stats.grown_bytes;
+
+        // Second life: same capacity comes back, empty, and growing
+        // within it costs nothing.
+        let mut buf = ws.checkout::<u64>();
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 1000);
+        buf.extend(0..1000);
+        drop(buf);
+        let stats = ws.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.grown_bytes, grown_before, "steady state: no growth");
+    }
+
+    #[test]
+    fn concurrent_checkouts_get_distinct_buffers() {
+        let ws = Workspace::new();
+        let mut a = ws.checkout::<usize>();
+        let mut b = ws.checkout::<usize>();
+        a.push(1);
+        b.push(2);
+        assert_eq!((a.len(), b.len()), (1, 1));
+        drop(a);
+        drop(b);
+        // Both return to the shelf and both can be re-checked-out.
+        let a = ws.checkout::<usize>();
+        let b = ws.checkout::<usize>();
+        assert!(a.is_empty() && b.is_empty());
+        assert_eq!(ws.stats().hits, 2);
+    }
+
+    #[test]
+    fn swapping_guard_contents_nets_to_zero_growth() {
+        // A caller that moves capacity between two live guards (BFS-style
+        // double buffering via mem::swap of the *contents*) must not
+        // fabricate growth: the shrunken guard's negative delta cancels
+        // the grown guard's positive one.
+        let ws = Workspace::new();
+        {
+            let mut warm = ws.checkout::<u64>();
+            warm.extend(0..1000);
+        }
+        let grown = ws.stats().grown_bytes;
+        {
+            let mut a = ws.checkout::<u64>(); // the warm capacity
+            let mut b = ws.checkout::<u64>(); // fresh, capacity 0
+            assert!(a.capacity() >= 1000);
+            std::mem::swap(&mut *a, &mut *b);
+        }
+        assert_eq!(ws.stats().grown_bytes, grown, "no allocation happened");
+    }
+
+    #[test]
+    fn shelves_are_typed() {
+        let ws = Workspace::new();
+        drop(ws.checkout::<u8>());
+        // A different element type is a miss, not a corrupted reuse.
+        let buf = ws.checkout::<u32>();
+        assert!(buf.is_empty());
+        assert_eq!(ws.stats().misses, 2);
+    }
+
+    #[test]
+    fn elements_are_dropped_at_check_in() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let ws = Workspace::new();
+        {
+            let mut buf = ws.checkout::<Counted>();
+            buf.push(Counted);
+            buf.push(Counted);
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 2, "arena keeps no values");
+        assert!(ws.checkout::<Counted>().capacity() >= 2);
+    }
+}

@@ -218,8 +218,9 @@ fn data_parallel_helpers_inherit_the_depth() {
     assert_eq!(m.spawned() + m.inlined(), 1);
     assert!(m.elided() > 0, "inner chunk spawns must be elided");
     // 1 outer join + one spawn per for_each_index chunk, all accounted
-    // (for_each_index uses fixed-size chunks, so chunk_count is only an
-    // upper bound on its spawn count — recompute the exact split).
-    let chunk_size = 100usize.div_ceil(pool.chunk_count(100));
+    // (for_each_index uses fixed-size chunks over the index bound — not
+    // the primitives' adaptive chunk_count — so index_chunk_count is only
+    // an upper bound on its spawn count; recompute the exact split).
+    let chunk_size = 100usize.div_ceil(pool.index_chunk_count(100));
     assert_metrics_consistent(m, 1 + 100usize.div_ceil(chunk_size) as u64);
 }

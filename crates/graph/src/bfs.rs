@@ -3,14 +3,22 @@
 //!
 //! The parallel algorithm is the classic scan/pack formulation (Blelloch;
 //! Tithi et al.'s level-synchronous BFS with optimal prefix-sum; GBBS's
-//! `edgeMap`): per level, the frontier's degrees are prefix-summed with
-//! [`PalPool::scan`] (inside [`PalPool::expand`]) to give every frontier
-//! vertex its own region of the candidate buffer, candidates are claimed
-//! with a compare-and-swap on the distance array, and the claimed
-//! candidates are compacted into the next frontier with
-//! [`PalPool::pack`].  All parallelism flows through `PalPool::join`, so
-//! the kernel inherits the `⌈α·log₂ p⌉` sequential cutoff and full
-//! `RunMetrics` fork accounting.
+//! `edgeMap`): per level, the frontier's degrees are block-summed inside
+//! [`PalPool::expand_in`] to give every frontier vertex its own region of
+//! the candidate buffer, candidates are claimed with a compare-and-swap
+//! on the distance array, and the claimed candidates are compacted into
+//! the next frontier with [`PalPool::pack_in`].  All parallelism flows
+//! through `PalPool::join`, so the kernel inherits the `⌈α·log₂ p⌉`
+//! sequential cutoff and full `RunMetrics` fork accounting.
+//!
+//! Every per-level buffer — frontier, degrees, candidates, and the
+//! distance array itself — is checked out of the pool's
+//! [`Workspace`](lopram_core::Workspace) arena and reused across levels
+//! (and across BFS calls on the same pool), so a steady-state BFS level
+//! performs **zero allocations**: the GBBS recipe of reusing scratch
+//! rather than re-materializing it, which is where the ≥2× per-level
+//! allocation reduction recorded in `BENCH_primitive_overhead.json` comes
+//! from.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -47,41 +55,63 @@ pub fn bfs_seq(graph: &CsrGraph, src: usize) -> Vec<usize> {
 /// Level-synchronous parallel BFS distances from `src`; identical output to
 /// [`bfs_seq`] for every processor count.
 ///
-/// Per level: one [`map_collect`](PalPool::map_collect) (frontier degrees),
-/// one [`expand`](PalPool::expand) (scan the degrees, then gather-and-claim
-/// neighbour candidates — duplicates are resolved by a compare-and-swap on
-/// the distance array, so each vertex enters exactly one frontier), one
-/// [`pack`](PalPool::pack) (compact the claimed candidates).  The set of
-/// vertices per level is deterministic — distances are the level number —
-/// even though which parent claims a shared candidate is not.
+/// Per level: one [`map_collect_in`](PalPool::map_collect_in) (frontier
+/// degrees), one [`expand_in`](PalPool::expand_in) (block-sum the degrees,
+/// then gather-and-claim neighbour candidates — duplicates are resolved by
+/// a compare-and-swap on the distance array, so each vertex enters exactly
+/// one frontier), one [`pack_in`](PalPool::pack_in) (compact the claimed
+/// candidates).  The set of vertices per level is deterministic —
+/// distances are the level number — even though which parent claims a
+/// shared candidate is not.
+///
+/// All level buffers come from [`PalPool::workspace`] and are reused
+/// across levels and calls: after the first level warms the arena, a
+/// level allocates nothing (see the module docs).
 ///
 /// # Panics
 ///
 /// Panics if `src` is not a vertex of `graph`.
 pub fn bfs_par(graph: &CsrGraph, pool: &PalPool, src: usize) -> Vec<usize> {
     assert!(src < graph.vertices(), "source {src} out of range");
-    let dist: Vec<AtomicUsize> = (0..graph.vertices())
-        .map(|_| AtomicUsize::new(UNREACHED))
-        .collect();
+    let ws = pool.workspace();
+    let mut dist = ws.checkout::<AtomicUsize>();
+    dist.resize_with(graph.vertices(), || AtomicUsize::new(UNREACHED));
     dist[src].store(0, Ordering::Relaxed);
 
-    let mut frontier = vec![src];
+    let mut frontier = ws.checkout::<usize>();
+    let mut next = ws.checkout::<usize>();
+    let mut degrees = ws.checkout::<usize>();
+    let mut candidates = ws.checkout::<usize>();
+    frontier.push(src);
     let mut level = 0usize;
     while !frontier.is_empty() {
         level += 1;
-        let frontier_ref = &frontier;
-        let degrees = pool.map_collect(0..frontier.len(), |i| graph.degree(frontier_ref[i]));
-        let candidates = pool.expand(&degrees, UNREACHED, |i, region| {
-            for (slot, &v) in region.iter_mut().zip(graph.neighbors(frontier_ref[i])) {
-                let claimed = dist[v]
-                    .compare_exchange(UNREACHED, level, Ordering::AcqRel, Ordering::Relaxed)
-                    .is_ok();
-                *slot = if claimed { v } else { UNREACHED };
-            }
-        });
-        frontier = pool.pack(&candidates, |_, &v| v != UNREACHED);
+        let frontier_ref: &[usize] = &frontier;
+        let dist_ref: &[AtomicUsize] = &dist;
+        pool.map_collect_in(
+            0..frontier_ref.len(),
+            |i| graph.degree(frontier_ref[i]),
+            &mut degrees,
+        );
+        pool.expand_in(
+            &degrees,
+            UNREACHED,
+            |i, region| {
+                for (slot, &v) in region.iter_mut().zip(graph.neighbors(frontier_ref[i])) {
+                    let claimed = dist_ref[v]
+                        .compare_exchange(UNREACHED, level, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok();
+                    *slot = if claimed { v } else { UNREACHED };
+                }
+            },
+            &mut candidates,
+        );
+        pool.pack_in(&candidates, |_, &v| v != UNREACHED, &mut next);
+        // Swap the guards themselves (not their contents) so each buffer
+        // stays attributed to its own checkout in the arena accounting.
+        std::mem::swap(&mut frontier, &mut next);
     }
-    dist.into_iter().map(AtomicUsize::into_inner).collect()
+    dist.iter().map(|d| d.load(Ordering::Relaxed)).collect()
 }
 
 /// Eccentricity of `src` (the number of BFS levels): the largest finite

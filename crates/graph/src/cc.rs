@@ -5,6 +5,12 @@
 //! its component**, so differential tests can compare outputs directly —
 //! no relabelling needed (the property suite still checks equality up to
 //! relabelling, which is what the algorithms guarantee in general).
+//!
+//! The parallel variants check their label/parent arrays out of the
+//! pool's [`Workspace`](lopram_core::Workspace) arena, so repeated CC
+//! calls on one pool (the steady state of a component-tracking service)
+//! reuse a single allocation instead of re-materializing an
+//! `n`-element atomic array per call.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -46,7 +52,9 @@ pub fn components_seq(graph: &CsrGraph) -> Vec<usize> {
 /// labelling in at most *diameter* rounds, independent of the schedule.
 pub fn components_label_prop(graph: &CsrGraph, pool: &PalPool) -> Vec<usize> {
     let n = graph.vertices();
-    let labels: Vec<AtomicUsize> = (0..n).map(AtomicUsize::new).collect();
+    let mut labels = pool.workspace().checkout::<AtomicUsize>();
+    labels.extend((0..n).map(AtomicUsize::new));
+    let labels: &[AtomicUsize] = &labels;
     loop {
         let changed = AtomicBool::new(false);
         pool.for_each_index(0..n, |u| {
@@ -62,7 +70,7 @@ pub fn components_label_prop(graph: &CsrGraph, pool: &PalPool) -> Vec<usize> {
             break;
         }
     }
-    labels.into_iter().map(AtomicUsize::into_inner).collect()
+    labels.iter().map(|l| l.load(Ordering::Relaxed)).collect()
 }
 
 /// Follow `parent` pointers from `v` to the current root (the fixed point
@@ -87,7 +95,9 @@ fn chase(parent: &[AtomicUsize], mut v: usize) -> usize {
 /// only root left per component is its minimum vertex id.
 pub fn components_hook(graph: &CsrGraph, pool: &PalPool) -> Vec<usize> {
     let n = graph.vertices();
-    let parent: Vec<AtomicUsize> = (0..n).map(AtomicUsize::new).collect();
+    let mut parent = pool.workspace().checkout::<AtomicUsize>();
+    parent.extend((0..n).map(AtomicUsize::new));
+    let parent: &[AtomicUsize] = &parent;
     loop {
         // Hook: merge the two trees of every cross-tree edge, smaller root
         // winning.
@@ -99,8 +109,8 @@ pub fn components_hook(graph: &CsrGraph, pool: &PalPool) -> Vec<usize> {
             // once per neighbour.
             let mut ru = u;
             for &v in graph.neighbors(u) {
-                ru = chase(&parent, ru);
-                let rv = chase(&parent, v);
+                ru = chase(parent, ru);
+                let rv = chase(parent, v);
                 if ru != rv {
                     let (lo, hi) = (ru.min(rv), ru.max(rv));
                     parent[hi].fetch_min(lo, Ordering::AcqRel);
@@ -126,7 +136,7 @@ pub fn components_hook(graph: &CsrGraph, pool: &PalPool) -> Vec<usize> {
         }
 
         if !hooked.load(Ordering::Acquire) {
-            return parent.into_iter().map(AtomicUsize::into_inner).collect();
+            return parent.iter().map(|p| p.load(Ordering::Relaxed)).collect();
         }
     }
 }

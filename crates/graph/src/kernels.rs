@@ -22,6 +22,11 @@ pub fn degree_histogram_seq(graph: &CsrGraph) -> Vec<u64> {
 /// [`reduce_by_index`](PalPool::reduce_by_index): every vertex contributes
 /// `1` to the bucket of its degree; identical output to
 /// [`degree_histogram_seq`].
+///
+/// The per-block bucket scratch comes from the pool's workspace arena
+/// (dense rows on bounded-degree shapes, `(bucket, count)` pairs when the
+/// max degree dwarfs a block — a star's hub), so repeated histograms on
+/// one pool allocate only the returned vector.
 pub fn degree_histogram(graph: &CsrGraph, pool: &PalPool) -> Vec<u64> {
     if graph.vertices() == 0 {
         return Vec::new();

@@ -1,0 +1,155 @@
+//! Steady-state allocation tests for the graph kernels: after a first
+//! (warming) call, repeated BFS / CC / histogram runs on the same pool
+//! must perform **zero** new workspace-arena growth — the pool-owned
+//! buffers are reused, not re-materialized — while outputs stay equal to
+//! the sequential twins.  Plus differential checks that the fused
+//! `pack_in` pipeline agrees with its unfused twin (a plain sequential
+//! filter) at every processor count.
+
+use lopram_core::PalPool;
+use lopram_graph::prelude::*;
+use proptest::prelude::*;
+
+/// Run `kernel` once to warm the pool's arena, then assert that further
+/// calls neither grow the arena nor miss a checkout.
+fn assert_steady_state<R: PartialEq + std::fmt::Debug>(
+    pool: &PalPool,
+    label: &str,
+    mut kernel: impl FnMut() -> R,
+    expected: &R,
+) {
+    assert_eq!(&kernel(), expected, "{label}: warm-up call diverged");
+    let warm = pool.workspace().stats();
+    for round in 0..3 {
+        assert_eq!(&kernel(), expected, "{label}: round {round} diverged");
+        let now = pool.workspace().stats();
+        assert_eq!(
+            now.grown_bytes, warm.grown_bytes,
+            "{label}: round {round} grew the arena"
+        );
+        assert_eq!(
+            now.misses, warm.misses,
+            "{label}: round {round} missed a checkout"
+        );
+    }
+    assert!(
+        pool.metrics().arena_hits() > 0,
+        "{label}: the kernel never touched the arena"
+    );
+}
+
+#[test]
+fn bfs_levels_reuse_the_arena() {
+    // gnm + star covers both many-level and two-level (hub) frontiers.
+    for (name, g) in [("gnm", gnm(600, 1800, 3)), ("star", star(500))] {
+        let expected = bfs_seq(&g, 0);
+        for p in [1, 2, 4] {
+            let pool = PalPool::new(p).unwrap();
+            assert_steady_state(
+                &pool,
+                &format!("bfs/{name}/p{p}"),
+                || bfs_par(&g, &pool, 0),
+                &expected,
+            );
+        }
+    }
+}
+
+#[test]
+fn cc_label_buffers_reuse_the_arena() {
+    let g = gnm(400, 700, 9);
+    let expected = components_seq(&g);
+    for p in [1, 2, 4] {
+        let pool = PalPool::new(p).unwrap();
+        assert_steady_state(
+            &pool,
+            &format!("cc-labelprop/p{p}"),
+            || components_label_prop(&g, &pool),
+            &expected,
+        );
+        assert_steady_state(
+            &pool,
+            &format!("cc-hook/p{p}"),
+            || components_hook(&g, &pool),
+            &expected,
+        );
+    }
+}
+
+#[test]
+fn histogram_scratch_reuses_the_arena() {
+    // A star graph has a huge max degree relative to the vertex blocks,
+    // forcing reduce_by_index's sparse layout; the grid forces the dense
+    // one.  Both must reach the zero-growth steady state.
+    for (name, g) in [("star", star(2000)), ("grid", grid(40, 50))] {
+        let expected = degree_histogram_seq(&g);
+        for p in [1, 2, 4] {
+            let pool = PalPool::new(p).unwrap();
+            assert_steady_state(
+                &pool,
+                &format!("histogram/{name}/p{p}"),
+                || degree_histogram(&g, &pool),
+                &expected,
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Fused pack (in-place boundary scan, no flag/offset vectors) must
+    // equal the unfused twin — a plain sequential filter — for any input
+    // and predicate, at every p, including through a reused buffer.
+    #[test]
+    fn fused_pack_matches_unfused_twin(
+        input in proptest::collection::vec(0u64..1000, 0..600),
+        modulus in 1u64..8,
+    ) {
+        let twin: Vec<u64> = input.iter().copied().filter(|x| x % modulus == 0).collect();
+        for p in [1usize, 2, 4] {
+            let pool = PalPool::new(p).unwrap();
+            prop_assert_eq!(
+                &pool.pack(&input, |_, x| x % modulus == 0),
+                &twin,
+                "pack, p = {}", p
+            );
+            let mut buf = vec![u64::MAX; 7]; // stale contents must not leak
+            pool.pack_in(&input, |_, x| x % modulus == 0, &mut buf);
+            prop_assert_eq!(&buf, &twin, "pack_in, p = {}", p);
+            // Reuse the same buffer with the complementary predicate.
+            let complement: Vec<u64> =
+                input.iter().copied().filter(|x| x % modulus != 0).collect();
+            pool.pack_in(&input, |_, x| x % modulus != 0, &mut buf);
+            prop_assert_eq!(&buf, &complement, "pack_in reuse, p = {}", p);
+        }
+    }
+
+    // scan_in / scan_copy_in must agree with each other and with the
+    // sequential running sum.
+    #[test]
+    fn scan_variants_match_sequential_twin(
+        input in proptest::collection::vec(0u64..10_000, 0..600),
+    ) {
+        let mut acc = 0u64;
+        let twin: Vec<u64> = input
+            .iter()
+            .map(|x| {
+                let before = acc;
+                acc += x;
+                before
+            })
+            .collect();
+        for p in [1usize, 2, 4] {
+            let pool = PalPool::new(p).unwrap();
+            let mut general = Vec::new();
+            let total = pool.scan_in(&input, 0u64, |a, b| a + b, &mut general);
+            prop_assert_eq!(&general, &twin, "scan_in, p = {}", p);
+            prop_assert_eq!(total, acc, "scan_in total, p = {}", p);
+            let mut copy = Vec::new();
+            let total = pool.scan_copy_in(&input, 0u64, |a, b| a + b, &mut copy);
+            prop_assert_eq!(&copy, &twin, "scan_copy_in, p = {}", p);
+            prop_assert_eq!(total, acc, "scan_copy_in total, p = {}", p);
+        }
+    }
+}
