@@ -47,8 +47,8 @@ pub use executor::{Executor, PalExecutor, SeqExecutor};
 pub use metrics::{assert_metrics_consistent, MetricsSnapshot, RunMetrics, SpeedupReport};
 pub use policy::{processors_for, ProcessorPolicy};
 pub use runtime::{
-    PalPool, PalPoolBuilder, PalScope, Scan, ThrottledPool, ThrottledScope, Workspace,
-    WorkspaceGuard, WorkspaceStats,
+    DagTrace, PalPool, PalPoolBuilder, PalScope, Scan, ThrottledPool, ThrottledScope, TraceConfig,
+    TraceEvent, TraceSummary, Workspace, WorkspaceGuard, WorkspaceStats,
 };
 pub use sercell::SerCell;
 
@@ -57,6 +57,8 @@ pub mod prelude {
     pub use crate::executor::{Executor, PalExecutor, SeqExecutor};
     pub use crate::palthreads;
     pub use crate::policy::{processors_for, ProcessorPolicy};
-    pub use crate::runtime::{PalPool, PalPoolBuilder, PalScope, Scan, ThrottledPool, Workspace};
+    pub use crate::runtime::{
+        DagTrace, PalPool, PalPoolBuilder, PalScope, Scan, ThrottledPool, TraceConfig, Workspace,
+    };
     pub use crate::sercell::SerCell;
 }

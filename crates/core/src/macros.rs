@@ -40,7 +40,7 @@ macro_rules! palthreads {
 /// two-way special case of [`palthreads!`] that the paper's
 /// divide-and-conquer examples use, routed through [`Executor::join`] so it
 /// works with any executor (and inherits the α·log p sequential cutoff on a
-/// [`PalPool`]).
+/// [`PalPool`](crate::PalPool)).
 ///
 /// ```
 /// use lopram_core::{pal_join, PalPool};

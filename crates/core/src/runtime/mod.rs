@@ -46,10 +46,12 @@ mod pool;
 mod primitives;
 mod throttled;
 mod tokens;
+pub mod trace;
 mod workspace;
 
 pub use pool::{PalPool, PalPoolBuilder, PalScope};
 pub use primitives::Scan;
 pub use throttled::{ThrottledPool, ThrottledPoolBuilder, ThrottledScope};
 pub use tokens::ProcessorTokens;
+pub use trace::{DagTrace, TraceConfig, TraceEvent, TraceSummary};
 pub use workspace::{Workspace, WorkspaceGuard, WorkspaceStats};

@@ -54,6 +54,7 @@ use std::ops::Range;
 
 use parking_lot::Mutex;
 
+use super::trace::{self, DagTrace, TraceConfig, TraceEvent, TraceState};
 use super::workspace::Workspace;
 use crate::error::{Error, Result};
 use crate::metrics::RunMetrics;
@@ -91,15 +92,41 @@ impl Grain {
 /// (0 is reserved for "no pool").
 static POOL_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
+/// Thread-local pal-thread context: which pool's computation this thread
+/// is currently inside, at which recursion depth, and — when that pool is
+/// tracing — the running pal-thread's trace node id and the thread's
+/// logical (Lamport) clock.  On an untraced pool `node` and `clock` stay
+/// zero and only `(pool, depth)` carry meaning, exactly the old
+/// depth-counter behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PalCtx {
+    /// Owning pool's identity (0: no pool).
+    pool: u64,
+    /// Pal-thread recursion depth.
+    depth: usize,
+    /// Trace node id of the running pal-thread ([`trace::ROOT_NODE`]
+    /// outside any traced pal-thread).
+    node: u32,
+    /// Logical clock, ticked once per recorded trace event.
+    clock: u64,
+}
+
+const IDLE_CTX: PalCtx = PalCtx {
+    pool: 0,
+    depth: 0,
+    node: trace::ROOT_NODE,
+    clock: 0,
+};
+
 thread_local! {
-    /// `(pool identity, recursion depth)` of the pal-thread computation
-    /// currently running on this thread.  Stolen jobs carry their depth
-    /// with them (the closure wrapper below restores it on the thief), so
-    /// the counter follows the recursion *tree*, not the OS thread.  The
-    /// pool identity keeps different pools from charging their depth
-    /// against each other's cutoff: a pool that finds another pool's entry
-    /// here is at its own logical root (depth 0).
-    static PAL_DEPTH: Cell<(u64, usize)> = const { Cell::new((0, 0)) };
+    /// Context of the pal-thread computation currently running on this
+    /// thread.  Stolen jobs carry their context with them (the closure
+    /// wrapper below restores it on the thief), so depth and node follow
+    /// the recursion *tree*, not the OS thread.  The pool identity keeps
+    /// different pools from charging their depth against each other's
+    /// cutoff: a pool that finds another pool's entry here is at its own
+    /// logical root (depth 0).
+    static PAL_CTX: Cell<PalCtx> = const { Cell::new(IDLE_CTX) };
 }
 
 /// Current pal-thread recursion depth of pool `pool_id` on this thread
@@ -107,26 +134,127 @@ thread_local! {
 /// computation of a *different* pool, which is that pool's business, not
 /// ours).
 fn current_depth(pool_id: u64) -> usize {
-    let (id, depth) = PAL_DEPTH.with(Cell::get);
-    if id == pool_id {
-        depth
+    let ctx = PAL_CTX.with(Cell::get);
+    if ctx.pool == pool_id {
+        ctx.depth
     } else {
         0
     }
 }
 
-/// Run `f` with the thread-local depth set to `depth` in pool `pool_id`,
-/// restoring the previous entry afterwards (also on unwind).
-fn with_depth<R>(pool_id: u64, depth: usize, f: impl FnOnce() -> R) -> R {
-    struct Restore((u64, usize));
-    impl Drop for Restore {
-        fn drop(&mut self) {
-            PAL_DEPTH.with(|d| d.set(self.0));
-        }
+/// Trace node id of the pal-thread of pool `pool_id` running on this
+/// thread ([`trace::ROOT_NODE`] outside one: the external session).
+fn current_node(pool_id: u64) -> u32 {
+    let ctx = PAL_CTX.with(Cell::get);
+    if ctx.pool == pool_id {
+        ctx.node
+    } else {
+        trace::ROOT_NODE
     }
-    let prev = PAL_DEPTH.with(|d| d.replace((pool_id, depth)));
+}
+
+/// Advance this thread's logical clock for pool `pool_id` past `at_least`
+/// and return the new stamp.
+///
+/// The clock persists in the thread-local slot so consecutive top-level
+/// calls from one external thread stay ordered — but only when writing
+/// cannot clobber another pool's live context (the slot is this pool's or
+/// idle).  Inside a different pool's computation the stamp is still
+/// correct (causality flows through the fork edges), it just restarts.
+fn tick_clock(pool_id: u64, at_least: u64) -> u64 {
+    PAL_CTX.with(|c| {
+        let ctx = c.get();
+        let base = if ctx.pool == pool_id { ctx.clock } else { 0 };
+        let ts = base.max(at_least) + 1;
+        if ctx.pool == pool_id {
+            c.set(PalCtx { clock: ts, ..ctx });
+        } else if ctx.pool == 0 {
+            c.set(PalCtx {
+                pool: pool_id,
+                depth: 0,
+                node: trace::ROOT_NODE,
+                clock: ts,
+            });
+        }
+        ts
+    })
+}
+
+/// Fold a child's final clock back into the forking pal-thread after a
+/// join, so events the parent records next are stamped after everything
+/// its children did (same persistence rule as [`tick_clock`]).
+fn merge_clock(pool_id: u64, at_least: u64) {
+    PAL_CTX.with(|c| {
+        let ctx = c.get();
+        if ctx.pool == pool_id {
+            c.set(PalCtx {
+                clock: ctx.clock.max(at_least),
+                ..ctx
+            });
+        } else if ctx.pool == 0 {
+            c.set(PalCtx {
+                pool: pool_id,
+                depth: 0,
+                node: trace::ROOT_NODE,
+                clock: at_least,
+            });
+        }
+    });
+}
+
+/// RAII restore of the previous thread-local context (also on unwind).
+struct Restore(PalCtx);
+impl Drop for Restore {
+    fn drop(&mut self) {
+        PAL_CTX.with(|c| c.set(self.0));
+    }
+}
+
+/// Run `f` with the thread-local context set to depth `depth` in pool
+/// `pool_id`, restoring the previous entry afterwards (also on unwind).
+/// The untraced fast path: node and clock stay zero.
+fn with_depth<R>(pool_id: u64, depth: usize, f: impl FnOnce() -> R) -> R {
+    let prev = PAL_CTX.with(|c| {
+        c.replace(PalCtx {
+            pool: pool_id,
+            depth,
+            node: trace::ROOT_NODE,
+            clock: 0,
+        })
+    });
     let _restore = Restore(prev);
     f()
+}
+
+/// Run `f` as traced pal-thread `node` of pool `pool_id` at `depth`, with
+/// the thread's clock seeded just after the creation stamp `created_ts`.
+/// Returns `f`'s result and the pal-thread's final clock, which the
+/// forking side folds back with [`merge_clock`] (lost on unwind — a
+/// panicking child leaves no `Exit` stamp either).
+fn with_task<R>(
+    pool_id: u64,
+    depth: usize,
+    node: u32,
+    created_ts: u64,
+    f: impl FnOnce() -> R,
+) -> (R, u64) {
+    let prev = PAL_CTX.with(|c| {
+        c.replace(PalCtx {
+            pool: pool_id,
+            depth,
+            node,
+            clock: created_ts,
+        })
+    });
+    let _restore = Restore(prev);
+    let result = f();
+    let end = PAL_CTX.with(Cell::get).clock;
+    (result, end)
+}
+
+/// Trace worker id for a per-worker log slot (`None` ⇒ external).
+fn worker_id(slot: Option<usize>) -> u16 {
+    slot.map_or(trace::EXTERNAL_WORKER, |i| i as u16)
 }
 
 /// A LoPRAM processor pool with `p` processors.
@@ -153,6 +281,9 @@ pub struct PalPool {
     /// Reusable scratch arena for the blocked primitives and the kernels
     /// built on them (see [`workspace`](PalPool::workspace)).
     workspace: Workspace,
+    /// Execution tracer ([`PalPoolBuilder::trace`]); `None` — the default
+    /// — keeps every hook a single `Option` branch.
+    trace: Option<TraceState>,
     /// Last pool-level counters already folded into `metrics`, so repeated
     /// [`metrics`](PalPool::metrics) calls only add the delta.
     synced: Mutex<SyncedCounters>,
@@ -177,13 +308,19 @@ impl PalPool {
             p,
             Some(DEFAULT_CUTOFF_ALPHA),
             Grain::Adaptive { min: DEFAULT_GRAIN },
+            None,
         )
     }
 
     /// Create a pool with exactly `p` processors, an explicit throttle
-    /// (`Some(alpha)` applies the `⌈α·log₂ p⌉` cutoff, `None` disables it)
-    /// and an explicit blocking policy.
-    fn with_cutoff(p: usize, alpha: Option<f64>, grain: Grain) -> Result<Self> {
+    /// (`Some(alpha)` applies the `⌈α·log₂ p⌉` cutoff, `None` disables it),
+    /// an explicit blocking policy and an optional execution tracer.
+    fn with_cutoff(
+        p: usize,
+        alpha: Option<f64>,
+        grain: Grain,
+        trace: Option<TraceConfig>,
+    ) -> Result<Self> {
         if p == 0 {
             return Err(Error::ZeroProcessors);
         }
@@ -192,6 +329,10 @@ impl PalPool {
             .thread_name(|i| format!("lopram-proc-{i}"))
             .build()
             .map_err(|e| Error::InvalidInput(format!("failed to build thread pool: {e}")))?;
+        let workspace = Workspace::new();
+        // Event pages are preallocated through the arena here, at build
+        // time, so a capture window itself allocates nothing.
+        let trace = trace.map(|cfg| TraceState::new(p, cfg, &workspace));
         Ok(PalPool {
             processors: p,
             pool,
@@ -199,7 +340,8 @@ impl PalPool {
             id: POOL_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             cutoff: alpha.map(|a| cutoff_levels(a, p)),
             grain,
-            workspace: Workspace::new(),
+            workspace,
+            trace,
             synced: Mutex::new(SyncedCounters::default()),
         })
     }
@@ -339,7 +481,11 @@ impl PalPool {
         RB: Send,
     {
         let depth = current_depth(self.id);
-        if self.cutoff.is_some_and(|cutoff| depth >= cutoff) {
+        let elide = self.cutoff.is_some_and(|cutoff| depth >= cutoff);
+        if let Some(trace) = &self.trace {
+            return self.join_traced(trace, a, b, depth, elide);
+        }
+        if elide {
             self.metrics.record_elided();
             // Same contract as the scheduled path: b executes even when a
             // unwinds (a stolen b always runs), and a's panic wins.
@@ -359,6 +505,157 @@ impl PalPool {
         )
     }
 
+    /// The recording twin of [`join`](PalPool::join): identical fork,
+    /// elision and panic semantics, plus one `Fork` event at the call site
+    /// and `Enter`/`Exit` stamps around each scheduled child.  Kept as a
+    /// separate path so untraced joins pay exactly one branch.
+    fn join_traced<RA, RB>(
+        &self,
+        trace: &TraceState,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+        depth: usize,
+        elide: bool,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        let id = self.id;
+        let parent = current_node(id);
+        let ts = tick_clock(id, 0);
+        let (left, right) = trace.alloc_pair();
+        let slot = self.worker_slot();
+        trace.record(
+            slot,
+            TraceEvent::Fork {
+                ts,
+                worker: worker_id(slot),
+                parent,
+                left,
+                right,
+                depth: depth as u32,
+                elided: elide,
+            },
+        );
+        let child = depth + 1;
+        if elide {
+            self.metrics.record_elided();
+            // Children run inline but still get their own node context,
+            // so nested traced forks attach to the right parent.  Their
+            // depth is `depth + 1` (≥ cutoff, so elision decisions are
+            // unchanged).
+            let (ra, a_end) = with_task(id, child, left, ts, || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(a))
+            });
+            let (rb, b_end) = with_task(id, child, right, ts, || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(b))
+            });
+            merge_clock(id, a_end.max(b_end));
+            return match (ra, rb) {
+                (Ok(ra), Ok(rb)) => (ra, rb),
+                (Err(payload), _) => std::panic::resume_unwind(payload),
+                (_, Err(payload)) => std::panic::resume_unwind(payload),
+            };
+        }
+        let ((ra, a_end), (rb, b_end)) = self.pool.join(
+            move || {
+                with_task(id, child, left, ts, || {
+                    let slot = self.worker_slot();
+                    let w = worker_id(slot);
+                    trace.record(
+                        slot,
+                        TraceEvent::Enter {
+                            ts: tick_clock(id, 0),
+                            worker: w,
+                            node: left,
+                        },
+                    );
+                    let r = a();
+                    trace.record(
+                        slot,
+                        TraceEvent::Exit {
+                            ts: tick_clock(id, 0),
+                            worker: w,
+                            node: left,
+                        },
+                    );
+                    r
+                })
+            },
+            move || {
+                with_task(id, child, right, ts, || {
+                    let slot = self.worker_slot();
+                    let w = worker_id(slot);
+                    trace.record(
+                        slot,
+                        TraceEvent::Enter {
+                            ts: tick_clock(id, 0),
+                            worker: w,
+                            node: right,
+                        },
+                    );
+                    let r = b();
+                    trace.record(
+                        slot,
+                        TraceEvent::Exit {
+                            ts: tick_clock(id, 0),
+                            worker: w,
+                            node: right,
+                        },
+                    );
+                    r
+                })
+            },
+        );
+        merge_clock(id, a_end.max(b_end));
+        (ra, rb)
+    }
+
+    /// `true` when this pool was built with
+    /// [`PalPoolBuilder::trace`] — every join, spawn and blocked pass is
+    /// being recorded.
+    pub fn is_tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Drain the tracer's event buffers into a [`DagTrace`] and reset
+    /// them for the next capture window; `None` when the pool was built
+    /// without [`PalPoolBuilder::trace`].
+    ///
+    /// Call between computations: events of work still in flight while
+    /// draining land in either the drained trace or the next window, so a
+    /// quiesced pool is the precondition for the exact-accounting
+    /// guarantees of [`DagTrace::summary`].
+    pub fn take_trace(&self) -> Option<DagTrace> {
+        let trace = self.trace.as_ref()?;
+        Some(trace.drain(self.processors, self.cutoff))
+    }
+
+    /// This thread's per-worker trace-log slot (`None`: not a worker of
+    /// this pool's runtime — the shared external slot).
+    fn worker_slot(&self) -> Option<usize> {
+        self.pool.current_thread_index()
+    }
+
+    /// Record one blocked data-parallel pass (`len` elements in `chunks`
+    /// blocks); no-op unless tracing.  Called by the primitives layer.
+    #[inline]
+    pub(super) fn trace_pass(&self, len: usize, chunks: usize) {
+        if let Some(trace) = &self.trace {
+            let slot = self.worker_slot();
+            trace.record(
+                slot,
+                TraceEvent::Pass {
+                    ts: tick_clock(self.id, 0),
+                    worker: worker_id(slot),
+                    len: len as u64,
+                    chunks: chunks as u32,
+                },
+            );
+        }
+    }
+
     /// Open a pal-thread scope: `f` may spawn any number of pal-threads via
     /// [`PalScope::spawn`]; the scope waits for all of them before returning.
     ///
@@ -372,10 +669,7 @@ impl PalPool {
         self.pool.in_place_scope(|s| {
             let pal = PalScope {
                 scope: s,
-                processors: self.processors,
-                pool_id: self.id,
-                cutoff: self.cutoff,
-                metrics: &self.metrics,
+                pool: self,
             };
             f(&pal)
         })
@@ -500,10 +794,7 @@ impl PalPool {
 /// A scope in which pal-threads can be spawned; see [`PalPool::scope`].
 pub struct PalScope<'scope, 'env: 'scope> {
     scope: &'scope rayon::Scope<'env>,
-    processors: usize,
-    pool_id: u64,
-    cutoff: Option<usize>,
-    metrics: &'env RunMetrics,
+    pool: &'env PalPool,
 }
 
 impl<'scope, 'env> PalScope<'scope, 'env> {
@@ -532,27 +823,88 @@ impl<'scope, 'env> PalScope<'scope, 'env> {
     where
         F: FnOnce() + Send + 'env,
     {
-        let depth = current_depth(self.pool_id);
-        if self.cutoff.is_some_and(|cutoff| depth >= cutoff) {
-            self.metrics.record_elided();
+        let id = self.pool.id;
+        let depth = current_depth(id);
+        let elide = self.pool.cutoff.is_some_and(|cutoff| depth >= cutoff);
+        if let Some(trace) = &self.pool.trace {
+            return self.spawn_traced(trace, f, depth, elide);
+        }
+        if elide {
+            self.pool.metrics.record_elided();
             f();
             return;
         }
         let child = depth + 1;
-        let id = self.pool_id;
         self.scope.spawn(move |_| with_depth(id, child, f));
+    }
+
+    /// The recording twin of [`spawn`](PalScope::spawn): one `Spawn`
+    /// event at the call site (whose worker — the spawner — is
+    /// authoritative for steal classification) and `Enter`/`Exit` stamps
+    /// around a scheduled child.
+    fn spawn_traced<F>(&self, trace: &'env TraceState, f: F, depth: usize, elide: bool)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let pool = self.pool;
+        let id = pool.id;
+        let parent = current_node(id);
+        let ts = tick_clock(id, 0);
+        let node = trace.alloc_node();
+        let slot = pool.worker_slot();
+        trace.record(
+            slot,
+            TraceEvent::Spawn {
+                ts,
+                worker: worker_id(slot),
+                parent,
+                child: node,
+                depth: depth as u32,
+                elided: elide,
+            },
+        );
+        let child = depth + 1;
+        if elide {
+            pool.metrics.record_elided();
+            let ((), end) = with_task(id, child, node, ts, f);
+            merge_clock(id, end);
+            return;
+        }
+        self.scope.spawn(move |_| {
+            with_task(id, child, node, ts, || {
+                let slot = pool.worker_slot();
+                let w = worker_id(slot);
+                trace.record(
+                    slot,
+                    TraceEvent::Enter {
+                        ts: tick_clock(id, 0),
+                        worker: w,
+                        node,
+                    },
+                );
+                f();
+                trace.record(
+                    slot,
+                    TraceEvent::Exit {
+                        ts: tick_clock(id, 0),
+                        worker: w,
+                        node,
+                    },
+                );
+            });
+        });
     }
 
     /// Number of processors of the owning pool.
     pub fn processors(&self) -> usize {
-        self.processors
+        self.pool.processors
     }
 }
 
 impl std::fmt::Debug for PalScope<'_, '_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PalScope")
-            .field("processors", &self.processors)
+            .field("processors", &self.pool.processors)
             .finish_non_exhaustive()
     }
 }
@@ -568,6 +920,8 @@ pub struct PalPoolBuilder {
     alpha: Option<f64>,
     /// Blocking policy for the data-parallel primitives.
     grain: Grain,
+    /// `Some` enables the execution tracer.
+    trace: Option<TraceConfig>,
 }
 
 impl Default for PalPoolBuilder {
@@ -578,6 +932,7 @@ impl Default for PalPoolBuilder {
             max_processors: None,
             alpha: Some(DEFAULT_CUTOFF_ALPHA),
             grain: Grain::Adaptive { min: DEFAULT_GRAIN },
+            trace: None,
         }
     }
 }
@@ -642,6 +997,16 @@ impl PalPoolBuilder {
         self.grain(1)
     }
 
+    /// Enable execution tracing: record every fork, spawn, elision,
+    /// scheduled activation and blocked pass into per-worker event
+    /// buffers (preallocated at build time through the workspace arena),
+    /// drained with [`PalPool::take_trace`].  Off by default; an untraced
+    /// pool pays one branch per hook and allocates nothing.
+    pub fn trace(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(config);
+        self
+    }
+
     /// Build the pool.
     pub fn build(self) -> Result<PalPool> {
         let p = match (self.processors, self.policy) {
@@ -660,7 +1025,7 @@ impl PalPoolBuilder {
                 });
             }
         }
-        PalPool::with_cutoff(p, self.alpha, self.grain)
+        PalPool::with_cutoff(p, self.alpha, self.grain, self.trace)
     }
 }
 
@@ -967,6 +1332,131 @@ mod tests {
             let pool = PalPool::new(p).unwrap();
             assert_eq!(sum_recursive(&pool, &data), expected, "p = {p}");
         }
+    }
+
+    #[test]
+    fn untraced_pool_has_no_trace() {
+        let pool = PalPool::new(2).unwrap();
+        assert!(!pool.is_tracing());
+        assert!(pool.take_trace().is_none());
+    }
+
+    #[test]
+    fn traced_join_tree_reproduces_metrics_exactly() {
+        fn tree(pool: &PalPool, depth: u32) {
+            if depth == 0 {
+                return;
+            }
+            pool.join(|| tree(pool, depth - 1), || tree(pool, depth - 1));
+        }
+        let pool = PalPool::builder()
+            .processors(2)
+            .trace(TraceConfig::default())
+            .build()
+            .unwrap();
+        assert!(pool.is_tracing());
+        tree(&pool, 5);
+        let m = pool.metrics().snapshot();
+        let trace = pool.take_trace().unwrap();
+        assert!(trace.is_complete());
+        let s = trace.summary();
+        assert_eq!(s.forks, m.forks(), "31 joins, each exactly one fork event");
+        assert_eq!(s.elided, m.elided);
+        assert_eq!(s.spawned, m.spawned);
+        assert_eq!(s.inlined, m.inlined);
+        assert_eq!(s.steals, m.steals);
+        assert_eq!(s.unclassified, 0);
+        // Drained: the next window starts empty, ids reset.
+        let empty = pool.take_trace().unwrap();
+        assert!(empty.events.is_empty());
+        pool.join(|| (), || ());
+        let again = pool.take_trace().unwrap();
+        assert_eq!(again.summary().forks, 1);
+    }
+
+    #[test]
+    fn traced_scope_classifies_injected_spawns() {
+        // Spawns issued from the external thread are injected, not stolen.
+        let pool = PalPool::builder()
+            .processors(2)
+            .no_cutoff()
+            .trace(TraceConfig::default())
+            .build()
+            .unwrap();
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| ());
+            }
+        });
+        let m = pool.metrics().snapshot();
+        let s = pool.take_trace().unwrap().summary();
+        assert_eq!(s.forks, 8);
+        assert_eq!(s.injected + s.steals, s.spawned);
+        assert_eq!(s.spawned, m.spawned);
+        assert_eq!(s.inlined, m.inlined);
+        assert_eq!(s.steals, m.steals);
+    }
+
+    #[test]
+    fn traced_primitives_record_passes() {
+        let pool = PalPool::builder()
+            .processors(4)
+            .trace(TraceConfig::default())
+            .build()
+            .unwrap();
+        let input: Vec<u64> = (0..100_000).collect();
+        let chunks = pool.chunk_count(input.len()) as u64;
+        pool.scan_copy(&input, 0u64, |a, b| a + b);
+        let m = pool.metrics().snapshot();
+        let trace = pool.take_trace().unwrap();
+        let s = trace.summary();
+        assert_eq!(s.passes, 2, "scan is a two-pass primitive");
+        assert_eq!(s.pass_forks, 2 * (chunks - 1));
+        assert_eq!(s.forks, m.forks(), "every pass fork is also a Fork event");
+        // Serialization roundtrip on a real capture.
+        let text = trace.to_text();
+        assert_eq!(DagTrace::from_text(&text).unwrap(), trace);
+    }
+
+    #[test]
+    fn traced_pool_results_and_fork_counts_match_untraced() {
+        let input: Vec<u64> = (0..50_000).collect();
+        let plain = PalPool::new(2).unwrap();
+        let traced = PalPool::builder()
+            .processors(2)
+            .trace(TraceConfig::default())
+            .build()
+            .unwrap();
+        let a = plain.scan_copy(&input, 0u64, |a, b| a + b);
+        let b = traced.scan_copy(&input, 0u64, |a, b| a + b);
+        assert_eq!(a, b);
+        let mp = plain.metrics().snapshot();
+        let mt = traced.metrics().snapshot();
+        assert_eq!(
+            mp.forks(),
+            mt.forks(),
+            "tracing must not change fork counts"
+        );
+        assert_eq!(mp.elided, mt.elided);
+    }
+
+    #[test]
+    fn trace_buffer_overflow_drops_and_counts() {
+        let pool = PalPool::builder()
+            .processors(1)
+            .trace(TraceConfig {
+                capacity_per_worker: 4,
+            })
+            .build()
+            .unwrap();
+        for _ in 0..16 {
+            pool.join(|| (), || ());
+        }
+        let trace = pool.take_trace().unwrap();
+        assert!(!trace.is_complete());
+        assert_eq!(trace.events.len() as u64 + trace.dropped, 16);
+        // The pool itself is unaffected.
+        assert_eq!(pool.metrics().elided(), 16);
     }
 
     #[test]

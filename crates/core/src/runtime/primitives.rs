@@ -72,6 +72,17 @@
 //! `split_at_mut`, so the module needs no `unsafe` and no interior
 //! mutability: disjointness is enforced by the borrow checker, not by
 //! index discipline.
+//!
+//! When the pool's execution tracer is on
+//! ([`PalPoolBuilder::trace`](super::PalPoolBuilder::trace)), every
+//! parallel pass of the table above additionally records one
+//! [`Pass`](super::TraceEvent::Pass) event carrying its `(len, chunks)` —
+//! that is what lets the `lopram-sim` replayer recount a pass's `C − 1`
+//! forks under a different `(p, grain)` without re-running the workload.
+//! ([`for_each_index`](PalPool::for_each_index) and
+//! [`map_reduce`](PalPool::map_reduce) are not pass-recorded: their
+//! chunking is cost-opaque, so the replayer treats their spawns
+//! as-recorded.)
 
 use std::ops::Range;
 
@@ -164,6 +175,7 @@ impl PalPool {
         // arena buffer.
         let mut sums = self.workspace().checkout::<T>();
         sums.resize(chunks, identity.clone());
+        self.trace_pass(n, chunks);
         self.blocked_balanced_mut(&mut sums, chunks, |c, slot| {
             let mut acc = identity.clone();
             for x in &input[block_start(n, chunks, c)..block_start(n, chunks, c + 1)] {
@@ -185,6 +197,7 @@ impl PalPool {
         // seeded with the scanned block offset.
         prepare_slots(exclusive, n, || identity);
         let sums = &sums;
+        self.trace_pass(n, chunks);
         self.blocked_balanced_mut(exclusive, chunks, |c, out| {
             let mut acc = sums[c].clone();
             for (slot, x) in out.iter_mut().zip(&input[block_start(n, chunks, c)..]) {
@@ -227,6 +240,7 @@ impl PalPool {
 
         let mut sums = self.workspace().checkout::<T>();
         sums.resize(chunks, identity);
+        self.trace_pass(n, chunks);
         self.blocked_balanced_mut(&mut sums, chunks, |c, slot| {
             let mut acc = identity;
             for &x in &input[block_start(n, chunks, c)..block_start(n, chunks, c + 1)] {
@@ -245,6 +259,7 @@ impl PalPool {
 
         prepare_slots(exclusive, n, || identity);
         let sums = &sums;
+        self.trace_pass(n, chunks);
         self.blocked_balanced_mut(exclusive, chunks, |c, out| {
             let mut acc = sums[c];
             for (slot, &x) in out.iter_mut().zip(&input[block_start(n, chunks, c)..]) {
@@ -300,6 +315,7 @@ impl PalPool {
         // Pass 1: count survivors per block, into the boundary buffer.
         let mut bounds = self.workspace().checkout::<usize>();
         bounds.resize(chunks + 1, 0);
+        self.trace_pass(n, chunks);
         self.blocked_balanced_mut(&mut bounds[..chunks], chunks, |c, slot| {
             let lo = block_start(n, chunks, c);
             slot[0] = input[lo..block_start(n, chunks, c + 1)]
@@ -325,6 +341,7 @@ impl PalPool {
 
         // Pass 2: re-filter each block into its disjoint output region.
         prepare_slots(out, total, || input[0].clone());
+        self.trace_pass(n, chunks);
         self.blocked_uneven_mut(out, &bounds, |c, region| {
             let lo = block_start(n, chunks, c);
             let mut slots = region.iter_mut();
@@ -383,6 +400,7 @@ impl PalPool {
         // offset in the output.
         let mut bounds = self.workspace().checkout::<usize>();
         bounds.resize(chunks + 1, 0);
+        self.trace_pass(n, chunks);
         self.blocked_balanced_mut(&mut bounds[..chunks], chunks, |c, slot| {
             slot[0] = sizes[block_start(n, chunks, c)..block_start(n, chunks, c + 1)]
                 .iter()
@@ -400,6 +418,7 @@ impl PalPool {
         // output range (`write` runs exactly once per index, even for
         // size-0 regions).
         out.resize(acc, fill);
+        self.trace_pass(n, chunks);
         self.blocked_uneven_mut(out, &bounds, |c, region| {
             let mut rest = region;
             let lo = block_start(n, chunks, c);
@@ -441,6 +460,7 @@ impl PalPool {
         }
         prepare_slots(out, len, T::default);
         let chunks = self.chunk_count(len);
+        self.trace_pass(len, chunks);
         self.blocked_balanced_mut(out, chunks, |c, slots| {
             let lo = range.start + block_start(len, chunks, c);
             for (k, slot) in slots.iter_mut().enumerate() {
@@ -491,6 +511,7 @@ impl PalPool {
         }
         let chunks = self.chunk_count(len);
         let block_span = len.div_ceil(chunks);
+        self.trace_pass(len, chunks);
 
         let check = |bucket: usize| {
             assert!(

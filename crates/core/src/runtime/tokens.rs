@@ -55,7 +55,7 @@ impl ProcessorTokens {
 
     /// Try to acquire a token without blocking.
     ///
-    /// Returns a [`Permit`] that releases the token when dropped (including
+    /// Returns a `Permit` that releases the token when dropped (including
     /// on panic), or `None` if every processor is busy.
     pub fn try_acquire(self: &Arc<Self>) -> Option<Permit> {
         let mut cur = self.free.load(Ordering::Acquire);

@@ -1,0 +1,1037 @@
+//! Execution tracing: capturing the pal-thread DAG of a real
+//! [`PalPool`](super::PalPool) run.
+//!
+//! The runtime's counters ([`RunMetrics`](crate::RunMetrics)) say *how
+//! many* pal-threads were spawned, inlined, elided or stolen — but not
+//! *where in the computation* those events happened.  This module records
+//! the events themselves: every fork creation point, every activation of
+//! a scheduled pal-thread on a concrete worker, and every blocked
+//! data-parallel pass, stamped with logical Lamport-style timestamps so
+//! the happens-before structure survives without a single `Instant` read
+//! on the hot path.  A drained [`DagTrace`] is the input to the
+//! deterministic replayer in `crates/sim`, which re-schedules the
+//! recorded DAG under arbitrary `(p, α, grain)` — a what-if scheduler lab
+//! that works even on a one-CPU host.
+//!
+//! # Recording model
+//!
+//! Tracing is opt-in per pool
+//! ([`PalPoolBuilder::trace`](super::PalPoolBuilder::trace)); a pool built
+//! without it carries no trace state and every hook compiles down to one
+//! `Option` branch — the allocation-free steady state is untouched.  When
+//! enabled, the pool owns one fixed-capacity `EventLog` per worker plus
+//! one for external (non-worker) threads.  A worker is the only writer of
+//! its own log, so an append is two relaxed stores and one release store
+//! of the length — no locks, no CAS, no allocation; the external log is
+//! shared by arbitrary caller threads and serialized by a mutex (a cold
+//! path: only top-level forks run there).  Log pages are preallocated
+//! through the pool's [`Workspace`] arena at build
+//! time, so their bytes appear in the `arena_bytes` accounting and a full
+//! capture/drain cycle allocates nothing.  A full log **drops** further
+//! events (counted in [`DagTrace::dropped`]) rather than blocking or
+//! reallocating.
+//!
+//! # Event vocabulary
+//!
+//! | event | emitted at | meaning |
+//! |-------|-----------|---------|
+//! | [`Fork`](TraceEvent::Fork)   | `join` call site | two children created (or elided) |
+//! | [`Spawn`](TraceEvent::Spawn) | `scope.spawn` call site | one child created (or elided) |
+//! | [`Enter`](TraceEvent::Enter) | scheduled child starts | which worker activated it |
+//! | [`Exit`](TraceEvent::Exit)   | scheduled child returns | completion stamp |
+//! | [`Pass`](TraceEvent::Pass)   | blocked primitive pass | `(len, chunks)` of one parallel pass |
+//!
+//! Elided children run inline in their parent, so they get no
+//! `Enter`/`Exit` (their creation point carries the `elided` flag).
+//! Steals are not a separate event: a scheduled fork's second child was
+//! stolen iff its `Enter` names a different worker than its sibling's —
+//! the sibling always runs on the thread that pushed the pending child.
+//! [`DagTrace::summary`] performs exactly that reconstruction, and the
+//! property suites assert it reproduces the pool's `RunMetrics` totals.
+//!
+//! # Serialized format
+//!
+//! [`DagTrace::to_text`] emits a stable, versioned, line-oriented text
+//! format (documented on the method and in `ARCHITECTURE.md`) that
+//! [`DagTrace::from_text`] parses back losslessly; traces can be written
+//! to disk by one process and replayed by another, including across
+//! future format versions (the header names the version).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use super::workspace::Workspace;
+use crate::error::{Error, Result};
+
+/// Version number written into (and required from) the serialized trace
+/// format; bump on any change to the event vocabulary or encoding.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// Worker id recorded for events emitted by threads that are not workers
+/// of the traced pool (the external caller driving the computation).
+pub const EXTERNAL_WORKER: u16 = u16::MAX;
+
+/// Node id of the implicit root: the external calling context that every
+/// top-level fork or spawn hangs off.  Never allocated to a pal-thread.
+pub const ROOT_NODE: u32 = 0;
+
+const WORDS_PER_EVENT: usize = 4;
+
+/// Configuration for [`PalPoolBuilder::trace`](super::PalPoolBuilder::trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Events each per-worker buffer can hold before further events from
+    /// that worker are dropped (counted in [`DagTrace::dropped`], never
+    /// blocking the computation).  One event is four `u64` words, so the
+    /// default of `2^16` events costs 2 MiB per worker.
+    pub capacity_per_worker: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            capacity_per_worker: 1 << 16,
+        }
+    }
+}
+
+/// One decoded trace event; see the [module docs](self) for the
+/// vocabulary and the steal-reconstruction rule.
+///
+/// All timestamps are logical (Lamport) clocks: each thread ticks its own
+/// counter per event, and a child's clock starts just after its creation
+/// stamp, so `ts` orders causally-related events while unrelated events
+/// may tie.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A two-way fork: a [`join`](super::PalPool::join) call site created
+    /// children `left` and `right` under `parent`.
+    Fork {
+        /// Logical timestamp at the call site.
+        ts: u64,
+        /// Worker that executed the call site ([`EXTERNAL_WORKER`] for a
+        /// non-worker thread).  For steal classification use the
+        /// children's [`Enter`](TraceEvent::Enter) workers, not this —
+        /// an external caller's children still run on pool workers.
+        worker: u16,
+        /// Node id of the pal-thread that forked ([`ROOT_NODE`] at top
+        /// level).
+        parent: u32,
+        /// Node id of the first child (`a`, runs on the forking thread
+        /// when scheduled).
+        left: u32,
+        /// Node id of the second child (`b`, the pending pal-thread).
+        right: u32,
+        /// Recursion depth of the call site (children are at `depth + 1`).
+        depth: u32,
+        /// `true` when the fork was elided by the `⌈α·log₂ p⌉` throttle:
+        /// both children ran as plain sequential calls, no `Enter`/`Exit`.
+        elided: bool,
+    },
+    /// A one-way spawn: a [`PalScope::spawn`](super::PalScope::spawn)
+    /// call site created `child` under `parent`.
+    Spawn {
+        /// Logical timestamp at the call site.
+        ts: u64,
+        /// Worker that executed the call site — the *spawner* — or
+        /// [`EXTERNAL_WORKER`].  Unlike [`Fork`](TraceEvent::Fork), this
+        /// worker is authoritative for steal classification: a spawned
+        /// child is stolen iff its `Enter` worker differs from a
+        /// non-external spawner.
+        worker: u16,
+        /// Node id of the spawning pal-thread ([`ROOT_NODE`] for the
+        /// scope body running outside any pal-thread).
+        parent: u32,
+        /// Node id of the created pal-thread.
+        child: u32,
+        /// Recursion depth of the call site.
+        depth: u32,
+        /// `true` when the spawn was elided (ran inline, no
+        /// `Enter`/`Exit`).
+        elided: bool,
+    },
+    /// A scheduled pal-thread began executing on a worker.
+    Enter {
+        /// Logical timestamp on the executing thread.
+        ts: u64,
+        /// Worker that activated the pal-thread.
+        worker: u16,
+        /// The pal-thread's node id.
+        node: u32,
+    },
+    /// A scheduled pal-thread finished executing.  Absent when the
+    /// pal-thread panicked (the panic propagates; its `Exit` is the one
+    /// event a complete trace may legitimately lack).
+    Exit {
+        /// Logical timestamp on the executing thread.
+        ts: u64,
+        /// Worker that ran the pal-thread.
+        worker: u16,
+        /// The pal-thread's node id.
+        node: u32,
+    },
+    /// One blocked data-parallel pass (scan/pack/expand/map_collect/
+    /// reduce_by_index) over `len` elements in `chunks` blocks — the
+    /// replayer uses these to recount the pass's `chunks − 1` forks under
+    /// a different `(p, grain)`.
+    Pass {
+        /// Logical timestamp at the pass entry.
+        ts: u64,
+        /// Worker that issued the pass ([`EXTERNAL_WORKER`] for an
+        /// external caller).
+        worker: u16,
+        /// Number of elements the pass covers.
+        len: u64,
+        /// Number of blocks the pool's grain policy chose at capture time.
+        chunks: u32,
+    },
+}
+
+const KIND_FORK: u64 = 1;
+const KIND_SPAWN: u64 = 2;
+const KIND_ENTER: u64 = 3;
+const KIND_EXIT: u64 = 4;
+const KIND_PASS: u64 = 5;
+const FLAG_ELIDED: u64 = 1;
+
+impl TraceEvent {
+    /// The event's logical timestamp.
+    pub fn ts(&self) -> u64 {
+        match *self {
+            TraceEvent::Fork { ts, .. }
+            | TraceEvent::Spawn { ts, .. }
+            | TraceEvent::Enter { ts, .. }
+            | TraceEvent::Exit { ts, .. }
+            | TraceEvent::Pass { ts, .. } => ts,
+        }
+    }
+
+    /// The worker that emitted the event.
+    pub fn worker(&self) -> u16 {
+        match *self {
+            TraceEvent::Fork { worker, .. }
+            | TraceEvent::Spawn { worker, .. }
+            | TraceEvent::Enter { worker, .. }
+            | TraceEvent::Exit { worker, .. }
+            | TraceEvent::Pass { worker, .. } => worker,
+        }
+    }
+
+    /// Pack into the four-word in-memory log encoding: `w0 = ts`,
+    /// `w1 = two node ids`, `w2 = kind | worker | flags | depth-or-chunks`,
+    /// `w3 = parent-or-len`.
+    fn encode(&self) -> [u64; WORDS_PER_EVENT] {
+        let meta = |kind: u64, worker: u16, flags: u64, aux: u32| {
+            kind | ((worker as u64) << 8) | (flags << 24) | ((aux as u64) << 32)
+        };
+        match *self {
+            TraceEvent::Fork {
+                ts,
+                worker,
+                parent,
+                left,
+                right,
+                depth,
+                elided,
+            } => [
+                ts,
+                ((left as u64) << 32) | right as u64,
+                meta(
+                    KIND_FORK,
+                    worker,
+                    if elided { FLAG_ELIDED } else { 0 },
+                    depth,
+                ),
+                parent as u64,
+            ],
+            TraceEvent::Spawn {
+                ts,
+                worker,
+                parent,
+                child,
+                depth,
+                elided,
+            } => [
+                ts,
+                (child as u64) << 32,
+                meta(
+                    KIND_SPAWN,
+                    worker,
+                    if elided { FLAG_ELIDED } else { 0 },
+                    depth,
+                ),
+                parent as u64,
+            ],
+            TraceEvent::Enter { ts, worker, node } => {
+                [ts, (node as u64) << 32, meta(KIND_ENTER, worker, 0, 0), 0]
+            }
+            TraceEvent::Exit { ts, worker, node } => {
+                [ts, (node as u64) << 32, meta(KIND_EXIT, worker, 0, 0), 0]
+            }
+            TraceEvent::Pass {
+                ts,
+                worker,
+                len,
+                chunks,
+            } => [ts, 0, meta(KIND_PASS, worker, 0, chunks), len],
+        }
+    }
+
+    /// Inverse of [`encode`](TraceEvent::encode); `None` on an
+    /// uninitialized (all-zero kind) slot.
+    fn decode(w: [u64; WORDS_PER_EVENT]) -> Option<TraceEvent> {
+        let ts = w[0];
+        let kind = w[2] & 0xff;
+        let worker = ((w[2] >> 8) & 0xffff) as u16;
+        let flags = (w[2] >> 24) & 0xff;
+        let aux = (w[2] >> 32) as u32;
+        let id_a = (w[1] >> 32) as u32;
+        let id_b = w[1] as u32;
+        match kind {
+            KIND_FORK => Some(TraceEvent::Fork {
+                ts,
+                worker,
+                parent: w[3] as u32,
+                left: id_a,
+                right: id_b,
+                depth: aux,
+                elided: flags & FLAG_ELIDED != 0,
+            }),
+            KIND_SPAWN => Some(TraceEvent::Spawn {
+                ts,
+                worker,
+                parent: w[3] as u32,
+                child: id_a,
+                depth: aux,
+                elided: flags & FLAG_ELIDED != 0,
+            }),
+            KIND_ENTER => Some(TraceEvent::Enter {
+                ts,
+                worker,
+                node: id_a,
+            }),
+            KIND_EXIT => Some(TraceEvent::Exit {
+                ts,
+                worker,
+                node: id_a,
+            }),
+            KIND_PASS => Some(TraceEvent::Pass {
+                ts,
+                worker,
+                len: w[3],
+                chunks: aux,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// A fixed-capacity, single-writer, lock-free append log of encoded
+/// events.
+///
+/// The owning worker is the only thread that appends (external threads
+/// share one log behind a mutex in [`TraceState`]), so publication needs
+/// no CAS: the writer stores the event words relaxed, then publishes with
+/// a release store of the new length; the drainer acquires the length and
+/// reads everything below it.  Appends beyond capacity are counted in
+/// `dropped` and discarded.
+#[derive(Debug)]
+struct EventLog {
+    /// Flat event storage, `WORDS_PER_EVENT` words per slot.  `AtomicU64`
+    /// cells keep the concurrent drain race-free in safe Rust; on the
+    /// single-writer fast path they cost the same as plain stores.
+    words: Vec<AtomicU64>,
+    /// Number of published events; release-stored by the writer.
+    len: AtomicUsize,
+    /// Events discarded because the log was full.
+    dropped: AtomicU64,
+}
+
+impl EventLog {
+    /// Build a log for `events` events, routing the page through the
+    /// workspace arena so the preallocation is arena-owned: its bytes
+    /// show up in the pool's `arena_bytes` metric and the page returns to
+    /// the shelf when the pool drops the trace state.
+    fn preallocated(ws: &Workspace, events: usize) -> Self {
+        let words = events.saturating_mul(WORDS_PER_EVENT);
+        // Grow the arena slot to the required capacity first, so the
+        // growth is recorded at put; then re-take the warm allocation and
+        // fill it within capacity (no further allocation).
+        let mut page: Vec<AtomicU64> = ws.take_buffer();
+        let cap_at_take = page.capacity();
+        page.reserve_exact(words);
+        ws.put_buffer(page, cap_at_take);
+        let mut page: Vec<AtomicU64> = ws.take_buffer();
+        page.resize_with(words, || AtomicU64::new(0));
+        EventLog {
+            words: page,
+            len: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Append one encoded event (single writer per log).
+    #[inline]
+    fn append(&self, words: [u64; WORDS_PER_EVENT]) {
+        let idx = self.len.load(Ordering::Relaxed);
+        let base = idx * WORDS_PER_EVENT;
+        if base + WORDS_PER_EVENT > self.words.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        for (k, w) in words.into_iter().enumerate() {
+            self.words[base + k].store(w, Ordering::Relaxed);
+        }
+        self.len.store(idx + 1, Ordering::Release);
+    }
+
+    /// Decode all published events into `out`, reset the log, and return
+    /// how many events were dropped since the last drain.
+    fn drain_into(&self, out: &mut Vec<TraceEvent>) -> u64 {
+        let n = self.len.load(Ordering::Acquire);
+        for i in 0..n {
+            let base = i * WORDS_PER_EVENT;
+            let mut w = [0u64; WORDS_PER_EVENT];
+            for (k, slot) in w.iter_mut().enumerate() {
+                *slot = self.words[base + k].load(Ordering::Relaxed);
+            }
+            if let Some(ev) = TraceEvent::decode(w) {
+                out.push(ev);
+            }
+        }
+        self.len.store(0, Ordering::Relaxed);
+        self.dropped.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// Per-pool tracer state: one [`EventLog`] per worker plus an external
+/// slot, the node-id allocator, and the capture configuration.
+#[derive(Debug)]
+pub(super) struct TraceState {
+    /// `processors + 1` logs; index `processors` is the shared external
+    /// slot, serialized by [`external`](TraceState::external).
+    logs: Box<[EventLog]>,
+    /// Serializes appends by non-worker threads into the external log.
+    external: Mutex<()>,
+    /// Next pal-thread node id; [`ROOT_NODE`] (0) is never handed out.
+    next_node: AtomicU32,
+    /// Capture configuration, echoed into drained traces.
+    config: TraceConfig,
+}
+
+impl TraceState {
+    pub(super) fn new(processors: usize, config: TraceConfig, ws: &Workspace) -> Self {
+        let logs: Vec<EventLog> = (0..processors + 1)
+            .map(|_| EventLog::preallocated(ws, config.capacity_per_worker))
+            .collect();
+        TraceState {
+            logs: logs.into_boxed_slice(),
+            external: Mutex::new(()),
+            next_node: AtomicU32::new(ROOT_NODE + 1),
+            config,
+        }
+    }
+
+    /// Allocate ids for the two children of a fork.
+    #[inline]
+    pub(super) fn alloc_pair(&self) -> (u32, u32) {
+        let base = self.next_node.fetch_add(2, Ordering::Relaxed);
+        (base, base.wrapping_add(1))
+    }
+
+    /// Allocate an id for a spawned child.
+    #[inline]
+    pub(super) fn alloc_node(&self) -> u32 {
+        self.next_node.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Record one event from worker `slot` (`None` for external threads).
+    #[inline]
+    pub(super) fn record(&self, slot: Option<usize>, ev: TraceEvent) {
+        match slot {
+            Some(i) => self.logs[i].append(ev.encode()),
+            None => {
+                let _serialized = self.external.lock();
+                self.logs[self.logs.len() - 1].append(ev.encode());
+            }
+        }
+    }
+
+    /// Drain every log into a [`DagTrace`] and reset the tracer for the
+    /// next capture window (event pages are reused in place, node ids
+    /// restart at 1).  The pages stay checked out of the arena for the
+    /// pool's whole lifetime — their one-time growth is what the
+    /// steady-state arena tests see at build time, and nothing after.
+    pub(super) fn drain(&self, processors: usize, cutoff: Option<usize>) -> DagTrace {
+        let _serialized = self.external.lock();
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        for log in self.logs.iter() {
+            dropped += log.drain_into(&mut events);
+        }
+        self.next_node.store(ROOT_NODE + 1, Ordering::Relaxed);
+        // Stable sort: causally-ordered events keep their clock order,
+        // same-stamp events from one worker keep their log order.
+        events.sort_by_key(|ev| ev.ts());
+        DagTrace {
+            version: TRACE_FORMAT_VERSION,
+            processors,
+            cutoff,
+            capacity_per_worker: self.config.capacity_per_worker,
+            events,
+            dropped,
+        }
+    }
+}
+
+/// A captured pal-thread execution DAG: the drained, sorted event stream
+/// of one capture window, plus the pool configuration it was captured
+/// under.  Produced by [`PalPool::take_trace`](super::PalPool::take_trace),
+/// consumed by the `lopram-sim` replayer; serialized with
+/// [`to_text`](DagTrace::to_text) / [`from_text`](DagTrace::from_text).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagTrace {
+    /// Format version ([`TRACE_FORMAT_VERSION`]).
+    pub version: u32,
+    /// Processor count `p` of the capturing pool.
+    pub processors: usize,
+    /// The capturing pool's elision cutoff depth (`None`: throttle off).
+    pub cutoff: Option<usize>,
+    /// Per-worker event-buffer capacity the capture ran with.
+    pub capacity_per_worker: usize,
+    /// All recorded events, sorted by logical timestamp (stable).
+    pub events: Vec<TraceEvent>,
+    /// Events discarded because a per-worker buffer filled up.  A trace
+    /// with `dropped > 0` is still replayable but its totals undercount.
+    pub dropped: u64,
+}
+
+impl DagTrace {
+    /// `true` when no event was lost to a full buffer — the precondition
+    /// for the exact-accounting guarantees of [`summary`](DagTrace::summary).
+    pub fn is_complete(&self) -> bool {
+        self.dropped == 0
+    }
+
+    /// Reconstruct the pool's fork-accounting totals from the event
+    /// stream alone.
+    ///
+    /// On a complete trace of a quiesced pool this reproduces the
+    /// [`RunMetrics`](crate::RunMetrics) deltas of the capture window
+    /// *exactly* — same `forks`, `elided`, `spawned`, `inlined` and
+    /// `steals` — which is what the replay property suites assert.  On an
+    /// incomplete trace (or one with in-flight work) creation points
+    /// whose `Enter` events are missing are tallied as
+    /// [`unclassified`](TraceSummary::unclassified) instead of guessed.
+    pub fn summary(&self) -> TraceSummary {
+        // Map node id -> worker that entered it.  Ids are dense and
+        // small (they count pal-threads), so a flat table beats a map.
+        let max_id = self
+            .events
+            .iter()
+            .map(|ev| match *ev {
+                TraceEvent::Fork { right, .. } => right,
+                TraceEvent::Spawn { child, .. } => child,
+                TraceEvent::Enter { node, .. } | TraceEvent::Exit { node, .. } => node,
+                TraceEvent::Pass { .. } => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        let mut entered: Vec<u16> = vec![EXTERNAL_WORKER; max_id as usize + 1];
+        let mut seen: Vec<bool> = vec![false; max_id as usize + 1];
+        for ev in &self.events {
+            if let TraceEvent::Enter { worker, node, .. } = *ev {
+                entered[node as usize] = worker;
+                seen[node as usize] = true;
+            }
+        }
+        let enter_worker = |node: u32| -> Option<u16> {
+            seen.get(node as usize)
+                .copied()
+                .unwrap_or(false)
+                .then(|| entered[node as usize])
+        };
+
+        let mut s = TraceSummary::default();
+        for ev in &self.events {
+            match *ev {
+                TraceEvent::Fork {
+                    left,
+                    right,
+                    elided,
+                    ..
+                } => {
+                    s.forks += 1;
+                    if elided {
+                        s.elided += 1;
+                    } else {
+                        s.scheduled += 1;
+                        // `left` runs on the thread that pushed `right`
+                        // as a pending job (even for external call sites,
+                        // which trampoline onto a worker), so comparing
+                        // the two Enter workers decides stolen-vs-inlined.
+                        match (enter_worker(left), enter_worker(right)) {
+                            (Some(wl), Some(wr)) if wl == wr => s.inlined += 1,
+                            (Some(_), Some(_)) => {
+                                s.spawned += 1;
+                                s.steals += 1;
+                            }
+                            _ => s.unclassified += 1,
+                        }
+                    }
+                }
+                TraceEvent::Spawn {
+                    worker,
+                    child,
+                    elided,
+                    ..
+                } => {
+                    s.forks += 1;
+                    if elided {
+                        s.elided += 1;
+                    } else {
+                        s.scheduled += 1;
+                        if worker == EXTERNAL_WORKER {
+                            // Injected from outside the pool: always runs
+                            // on a worker, but nothing migrated.
+                            s.spawned += 1;
+                            s.injected += 1;
+                        } else {
+                            match enter_worker(child) {
+                                Some(w) if w == worker => s.inlined += 1,
+                                Some(_) => {
+                                    s.spawned += 1;
+                                    s.steals += 1;
+                                }
+                                None => s.unclassified += 1,
+                            }
+                        }
+                    }
+                }
+                TraceEvent::Pass { chunks, .. } => {
+                    s.passes += 1;
+                    s.pass_forks += u64::from(chunks.saturating_sub(1));
+                }
+                TraceEvent::Enter { .. } | TraceEvent::Exit { .. } => {}
+            }
+        }
+        s
+    }
+
+    /// Serialize to the stable line-oriented text format.
+    ///
+    /// ```text
+    /// lopram-dagtrace 1            # magic + format version
+    /// processors 4
+    /// cutoff 4                     # or: cutoff none
+    /// capacity 65536
+    /// dropped 0
+    /// events 123                   # exactly this many event lines follow
+    /// F <ts> <worker> <parent> <left> <right> <depth> <elided 0|1>
+    /// S <ts> <worker> <parent> <child> <depth> <elided 0|1>
+    /// B <ts> <worker> <node>       # Enter ("begin")
+    /// E <ts> <worker> <node>       # Exit
+    /// P <ts> <worker> <len> <chunks>
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(32 * self.events.len() + 128);
+        out.push_str(&format!("lopram-dagtrace {}\n", self.version));
+        out.push_str(&format!("processors {}\n", self.processors));
+        match self.cutoff {
+            Some(c) => out.push_str(&format!("cutoff {c}\n")),
+            None => out.push_str("cutoff none\n"),
+        }
+        out.push_str(&format!("capacity {}\n", self.capacity_per_worker));
+        out.push_str(&format!("dropped {}\n", self.dropped));
+        out.push_str(&format!("events {}\n", self.events.len()));
+        for ev in &self.events {
+            match *ev {
+                TraceEvent::Fork {
+                    ts,
+                    worker,
+                    parent,
+                    left,
+                    right,
+                    depth,
+                    elided,
+                } => out.push_str(&format!(
+                    "F {ts} {worker} {parent} {left} {right} {depth} {}\n",
+                    elided as u8
+                )),
+                TraceEvent::Spawn {
+                    ts,
+                    worker,
+                    parent,
+                    child,
+                    depth,
+                    elided,
+                } => out.push_str(&format!(
+                    "S {ts} {worker} {parent} {child} {depth} {}\n",
+                    elided as u8
+                )),
+                TraceEvent::Enter { ts, worker, node } => {
+                    out.push_str(&format!("B {ts} {worker} {node}\n"))
+                }
+                TraceEvent::Exit { ts, worker, node } => {
+                    out.push_str(&format!("E {ts} {worker} {node}\n"))
+                }
+                TraceEvent::Pass {
+                    ts,
+                    worker,
+                    len,
+                    chunks,
+                } => out.push_str(&format!("P {ts} {worker} {len} {chunks}\n")),
+            }
+        }
+        out
+    }
+
+    /// Parse a trace serialized by [`to_text`](DagTrace::to_text).
+    ///
+    /// Returns [`Error::InvalidInput`] on a bad magic line, an
+    /// unsupported version, a malformed header field or event line, or an
+    /// event count that does not match the header.
+    pub fn from_text(text: &str) -> Result<DagTrace> {
+        let bad =
+            |what: &str, line: &str| Error::InvalidInput(format!("dagtrace: {what}: {line:?}"));
+        let mut lines = text.lines();
+        let magic = lines.next().unwrap_or("");
+        let version: u32 = magic
+            .strip_prefix("lopram-dagtrace ")
+            .and_then(|v| v.trim().parse().ok())
+            .ok_or_else(|| bad("bad magic line", magic))?;
+        if version != TRACE_FORMAT_VERSION {
+            return Err(Error::InvalidInput(format!(
+                "dagtrace: unsupported format version {version} (supported: {TRACE_FORMAT_VERSION})"
+            )));
+        }
+        let mut header = |key: &str| -> Result<String> {
+            let line = lines.next().unwrap_or("");
+            line.strip_prefix(key)
+                .map(|v| v.trim().to_string())
+                .ok_or_else(|| bad("bad header line", line))
+        };
+        let processors: usize = header("processors ")?
+            .parse()
+            .map_err(|_| bad("bad processors", text))?;
+        let cutoff_raw = header("cutoff ")?;
+        let cutoff = if cutoff_raw == "none" {
+            None
+        } else {
+            Some(
+                cutoff_raw
+                    .parse()
+                    .map_err(|_| bad("bad cutoff", &cutoff_raw))?,
+            )
+        };
+        let capacity_per_worker: usize = header("capacity ")?
+            .parse()
+            .map_err(|_| bad("bad capacity", text))?;
+        let dropped: u64 = header("dropped ")?
+            .parse()
+            .map_err(|_| bad("bad dropped", text))?;
+        let count: usize = header("events ")?
+            .parse()
+            .map_err(|_| bad("bad event count", text))?;
+
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = lines
+                .next()
+                .ok_or_else(|| bad("missing event line", "<eof>"))?;
+            let mut parts = line.split_ascii_whitespace();
+            let tag = parts.next().ok_or_else(|| bad("empty event line", line))?;
+            let mut field = |_name: &str| -> Result<u64> {
+                parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("bad event field", line))
+            };
+            let ev = match tag {
+                "F" => TraceEvent::Fork {
+                    ts: field("ts")?,
+                    worker: field("worker")? as u16,
+                    parent: field("parent")? as u32,
+                    left: field("left")? as u32,
+                    right: field("right")? as u32,
+                    depth: field("depth")? as u32,
+                    elided: field("elided")? != 0,
+                },
+                "S" => TraceEvent::Spawn {
+                    ts: field("ts")?,
+                    worker: field("worker")? as u16,
+                    parent: field("parent")? as u32,
+                    child: field("child")? as u32,
+                    depth: field("depth")? as u32,
+                    elided: field("elided")? != 0,
+                },
+                "B" => TraceEvent::Enter {
+                    ts: field("ts")?,
+                    worker: field("worker")? as u16,
+                    node: field("node")? as u32,
+                },
+                "E" => TraceEvent::Exit {
+                    ts: field("ts")?,
+                    worker: field("worker")? as u16,
+                    node: field("node")? as u32,
+                },
+                "P" => TraceEvent::Pass {
+                    ts: field("ts")?,
+                    worker: field("worker")? as u16,
+                    len: field("len")?,
+                    chunks: field("chunks")? as u32,
+                },
+                _ => return Err(bad("unknown event tag", line)),
+            };
+            if parts.next().is_some() {
+                return Err(bad("trailing event fields", line));
+            }
+            events.push(ev);
+        }
+        Ok(DagTrace {
+            version,
+            processors,
+            cutoff,
+            capacity_per_worker,
+            events,
+            dropped,
+        })
+    }
+}
+
+/// Fork-accounting totals reconstructed from a [`DagTrace`] by
+/// [`DagTrace::summary`]; field names match [`RunMetrics`](crate::RunMetrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceSummary {
+    /// Total creation points: `Fork` + `Spawn` events
+    /// (`= elided + scheduled`).
+    pub forks: u64,
+    /// Creation points elided by the `⌈α·log₂ p⌉` throttle.
+    pub elided: u64,
+    /// Creation points that reached the scheduler
+    /// (`= spawned + inlined + unclassified`).
+    pub scheduled: u64,
+    /// Scheduled pal-threads granted a processor other than their
+    /// creator's activation (`= steals + injected`).
+    pub spawned: u64,
+    /// Scheduled pal-threads executed by their creator.
+    pub inlined: u64,
+    /// Spawned pal-threads that migrated between pool workers.
+    pub steals: u64,
+    /// Spawned pal-threads injected by external (non-worker) threads.
+    pub injected: u64,
+    /// Scheduled creation points whose children's `Enter` events are
+    /// missing (dropped events or in-flight work); zero on a complete
+    /// trace of a quiesced pool.
+    pub unclassified: u64,
+    /// Number of blocked data-parallel passes recorded.
+    pub passes: u64,
+    /// Sum over passes of `chunks − 1` — the forks attributable to
+    /// blocked-primitive blocking, the part of `forks` that the replayer
+    /// recounts under a different `(p, grain)`.
+    pub pass_forks: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> DagTrace {
+        DagTrace {
+            version: TRACE_FORMAT_VERSION,
+            processors: 2,
+            cutoff: Some(2),
+            capacity_per_worker: 1 << 16,
+            events: vec![
+                TraceEvent::Fork {
+                    ts: 1,
+                    worker: EXTERNAL_WORKER,
+                    parent: ROOT_NODE,
+                    left: 1,
+                    right: 2,
+                    depth: 0,
+                    elided: false,
+                },
+                TraceEvent::Enter {
+                    ts: 2,
+                    worker: 0,
+                    node: 1,
+                },
+                TraceEvent::Enter {
+                    ts: 2,
+                    worker: 1,
+                    node: 2,
+                },
+                TraceEvent::Fork {
+                    ts: 3,
+                    worker: 0,
+                    parent: 1,
+                    left: 3,
+                    right: 4,
+                    depth: 1,
+                    elided: true,
+                },
+                TraceEvent::Exit {
+                    ts: 4,
+                    worker: 0,
+                    node: 1,
+                },
+                TraceEvent::Exit {
+                    ts: 4,
+                    worker: 1,
+                    node: 2,
+                },
+                TraceEvent::Pass {
+                    ts: 5,
+                    worker: EXTERNAL_WORKER,
+                    len: 4096,
+                    chunks: 8,
+                },
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_is_lossless() {
+        let trace = sample_trace();
+        let text = trace.to_text();
+        let back = DagTrace::from_text(&text).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(DagTrace::from_text("").is_err());
+        assert!(DagTrace::from_text("lopram-dagtrace 999\n").is_err());
+        let mut text = sample_trace().to_text();
+        text.push_str("X 1 2 3\n");
+        // Trailing junk after the declared events is ignored by design
+        // (the header's event count is authoritative), but a corrupted
+        // event line inside the count is not.
+        let bad = text.replace("F 1 65535 0 1 2 0 0", "F 1 65535 0 1");
+        assert!(DagTrace::from_text(&bad).is_err());
+    }
+
+    #[test]
+    fn summary_classifies_steals_inlines_and_elisions() {
+        let mut trace = sample_trace();
+        let s = trace.summary();
+        assert_eq!(s.forks, 2);
+        assert_eq!(s.elided, 1);
+        assert_eq!(s.scheduled, 1);
+        assert_eq!(s.steals, 1, "children entered on different workers");
+        assert_eq!(s.spawned, 1);
+        assert_eq!(s.inlined, 0);
+        assert_eq!(s.unclassified, 0);
+        assert_eq!(s.passes, 1);
+        assert_eq!(s.pass_forks, 7);
+
+        // Same trace, but the right child entered on the left's worker:
+        // an inline, not a steal.
+        for ev in &mut trace.events {
+            if let TraceEvent::Enter {
+                worker, node: 2, ..
+            } = ev
+            {
+                *worker = 0;
+            }
+        }
+        let s = trace.summary();
+        assert_eq!(s.inlined, 1);
+        assert_eq!(s.steals, 0);
+    }
+
+    #[test]
+    fn event_encoding_roundtrips() {
+        let events = [
+            TraceEvent::Fork {
+                ts: u64::MAX >> 1,
+                worker: EXTERNAL_WORKER,
+                parent: 7,
+                left: u32::MAX - 1,
+                right: u32::MAX,
+                depth: 31,
+                elided: true,
+            },
+            TraceEvent::Spawn {
+                ts: 0,
+                worker: 3,
+                parent: ROOT_NODE,
+                child: 9,
+                depth: 0,
+                elided: false,
+            },
+            TraceEvent::Enter {
+                ts: 5,
+                worker: 2,
+                node: 11,
+            },
+            TraceEvent::Exit {
+                ts: 6,
+                worker: 2,
+                node: 11,
+            },
+            TraceEvent::Pass {
+                ts: 9,
+                worker: 1,
+                len: u64::MAX >> 8,
+                chunks: 32,
+            },
+        ];
+        for ev in events {
+            assert_eq!(TraceEvent::decode(ev.encode()), Some(ev));
+        }
+    }
+
+    #[test]
+    fn event_log_drops_when_full_and_resets_on_drain() {
+        let ws = Workspace::new();
+        let log = EventLog::preallocated(&ws, 2);
+        for i in 0..4 {
+            log.append(
+                TraceEvent::Enter {
+                    ts: i,
+                    worker: 0,
+                    node: i as u32,
+                }
+                .encode(),
+            );
+        }
+        let mut out = Vec::new();
+        assert_eq!(log.drain_into(&mut out), 2, "two events dropped");
+        assert_eq!(out.len(), 2);
+        out.clear();
+        // Drained: capacity is available again, dropped counter reset.
+        log.append(
+            TraceEvent::Enter {
+                ts: 9,
+                worker: 0,
+                node: 9,
+            }
+            .encode(),
+        );
+        assert_eq!(log.drain_into(&mut out), 0);
+        assert_eq!(
+            out,
+            vec![TraceEvent::Enter {
+                ts: 9,
+                worker: 0,
+                node: 9
+            }]
+        );
+    }
+
+    #[test]
+    fn preallocation_is_arena_accounted() {
+        let ws = Workspace::new();
+        let log = EventLog::preallocated(&ws, 1024);
+        let grown = ws.stats().grown_bytes;
+        assert!(
+            grown >= (1024 * WORDS_PER_EVENT * 8) as u64,
+            "page bytes recorded: {grown}"
+        );
+        assert_eq!(log.words.len(), 1024 * WORDS_PER_EVENT);
+    }
+}

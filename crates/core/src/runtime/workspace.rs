@@ -48,7 +48,8 @@ use parking_lot::Mutex;
 /// A thread-safe shelf of reusable, grow-only typed buffers.
 ///
 /// Owned by [`PalPool`](super::PalPool) (one workspace per pool); see the
-/// [module docs](self) for the checkout/check-in lifecycle.
+/// module docs (`runtime/workspace.rs`) for the checkout/check-in
+/// lifecycle.
 #[derive(Debug, Default)]
 pub struct Workspace {
     /// Idle buffers, keyed by element type.  Each value is a per-type
@@ -80,6 +81,28 @@ impl Workspace {
     /// when one is available.  The buffer returns to the workspace
     /// (cleared, capacity kept) when the guard drops.
     pub fn checkout<T: Send + 'static>(&self) -> WorkspaceGuard<'_, T> {
+        let buf = self.take_buffer();
+        WorkspaceGuard {
+            capacity_out: buf.capacity(),
+            buf: Some(buf),
+            workspace: self,
+        }
+    }
+
+    /// Take an empty buffer out of the arena **by value**, reusing a
+    /// shelved allocation when one is available (a hit), creating a fresh
+    /// empty `Vec` otherwise (a miss).
+    ///
+    /// This is the guard-less sibling of [`checkout`](Workspace::checkout)
+    /// for owners whose buffer must outlive any scope a borrow-carrying
+    /// [`WorkspaceGuard`] could span — e.g. the execution tracer's event
+    /// pages, which live next to the workspace inside the same pool.  The
+    /// caller is responsible for handing the allocation back with
+    /// [`put_buffer`](Workspace::put_buffer), quoting the capacity
+    /// observed right after the take so growth is attributed correctly; a
+    /// buffer that is never returned simply leaves the arena's custody
+    /// (and its growth goes unrecorded).
+    pub fn take_buffer<T: Send + 'static>(&self) -> Vec<T> {
         let shelved: Option<Vec<T>> =
             self.shelves
                 .lock()
@@ -89,7 +112,7 @@ impl Workspace {
                         .expect("shelf keyed by TypeId")
                         .pop()
                 });
-        let buf = match shelved {
+        match shelved {
             Some(buf) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 buf
@@ -98,12 +121,19 @@ impl Workspace {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 Vec::new()
             }
-        };
-        WorkspaceGuard {
-            capacity_out: buf.capacity(),
-            buf: Some(buf),
-            workspace: self,
         }
+    }
+
+    /// Return a buffer previously obtained with
+    /// [`take_buffer`](Workspace::take_buffer): remaining elements are
+    /// dropped, capacity growth since the take (relative to
+    /// `capacity_at_take`) is recorded against
+    /// [`grown_bytes`](WorkspaceStats::grown_bytes), and the allocation is
+    /// shelved for the next take or checkout of the same element type.
+    pub fn put_buffer<T: Send + 'static>(&self, mut buf: Vec<T>, capacity_at_take: usize) {
+        // Drop user elements outside the shelf lock, like the guard does.
+        buf.clear();
+        self.check_in(buf, capacity_at_take);
     }
 
     /// Snapshot of the arena counters.
@@ -259,6 +289,24 @@ mod tests {
         let buf = ws.checkout::<u32>();
         assert!(buf.is_empty());
         assert_eq!(ws.stats().misses, 2);
+    }
+
+    #[test]
+    fn take_and_put_share_the_shelf_with_checkout() {
+        let ws = Workspace::new();
+        let mut owned: Vec<u64> = ws.take_buffer();
+        assert!(owned.is_empty());
+        let cap0 = owned.capacity();
+        owned.extend(0..500);
+        ws.put_buffer(owned, cap0);
+        let stats = ws.stats();
+        assert_eq!(stats.misses, 1);
+        assert!(stats.grown_bytes >= 500 * 8, "growth recorded at put");
+        // The same allocation comes back through the guard API, empty.
+        let buf = ws.checkout::<u64>();
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 500);
+        assert_eq!(ws.stats().hits, 1);
     }
 
     #[test]

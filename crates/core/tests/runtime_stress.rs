@@ -8,7 +8,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use lopram_core::{assert_metrics_consistent, PalPool, ThrottledPool};
+use lopram_core::{assert_metrics_consistent, PalPool, ThrottledPool, TraceConfig};
 
 fn repeat(default: usize) -> usize {
     std::env::var("LOPRAM_TEST_REPEAT")
@@ -232,6 +232,110 @@ fn panic_in_primitive_map_leaves_pool_reusable() {
         assert_eq!(scan.total, expected_total, "iteration {i}");
         assert_eq!(fib(&pool, 8), 21, "iteration {i}");
     }
+}
+
+/// Tracing must be an observer, never a participant: a traced pool under
+/// nested-join contention produces the same results and the same
+/// schedule-independent counters (`forks`, `elided`) as an untraced twin,
+/// and its own trace reproduces those counters event-for-event.
+#[test]
+fn tracing_on_equals_tracing_off_under_stress() {
+    let plain = PalPool::new(4).unwrap();
+    let traced = PalPool::builder()
+        .processors(4)
+        .trace(TraceConfig::default())
+        .build()
+        .unwrap();
+    let iterations = repeat(100);
+    for i in 0..iterations {
+        assert_eq!(fib(&plain, 12), 144, "iteration {i} (untraced)");
+        assert_eq!(fib(&traced, 12), 144, "iteration {i} (traced)");
+    }
+    let mp = plain.metrics().snapshot();
+    let mt = traced.metrics().snapshot();
+    // forks and elided are properties of the program, not the schedule —
+    // and must not become properties of the tracer either.  (The
+    // spawned-vs-inlined split and the steal count *are* schedule-dependent
+    // and may differ between the two pools.)
+    assert_eq!(mp.forks(), mt.forks(), "tracing changed the fork count");
+    assert_eq!(mp.elided, mt.elided, "tracing changed the elision count");
+    assert_metrics_consistent(traced.metrics(), 232 * iterations as u64);
+    // The capture agrees with the pool's own accounting on every counter,
+    // including the racy ones — the trace records the actual schedule.
+    let trace = traced.take_trace().expect("tracing was on");
+    assert!(trace.is_complete() || trace.dropped > 0);
+    if trace.is_complete() {
+        let s = trace.summary();
+        assert_eq!(s.forks, mt.forks());
+        assert_eq!(s.elided, mt.elided);
+        assert_eq!(s.spawned, mt.spawned);
+        assert_eq!(s.inlined, mt.inlined);
+        assert_eq!(s.steals, mt.steals);
+    }
+}
+
+/// Panics under tracing: the tracer sits on the fork/join hot path, so a
+/// panicking child must still unwind cleanly, the pool must stay usable,
+/// and every capture window must stay drainable — no deadlocks on the
+/// drain lock, no stuck per-worker buffers.
+#[test]
+fn panic_propagation_with_tracing_on() {
+    let pool = PalPool::builder()
+        .processors(4)
+        .trace(TraceConfig::default())
+        .build()
+        .unwrap();
+    for i in 0..repeat(100) {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if i % 2 == 0 {
+                pool.join(|| fib(&pool, 6), || -> u64 { panic!("child b failed") });
+            } else {
+                pool.join(|| -> u64 { panic!("child a failed") }, || fib(&pool, 6));
+            }
+        }));
+        assert!(result.is_err(), "iteration {i}: panic must propagate");
+        assert_eq!(fib(&pool, 8), 21, "iteration {i}: pool usable after panic");
+        // Draining mid-stress must always work; the window includes the
+        // panicked join, whose fork event is recorded at the call site
+        // even though the child never exited.
+        if i % 10 == 9 {
+            let trace = pool.take_trace().expect("tracing was on");
+            assert!(trace.summary().forks > 0, "iteration {i}: window not empty");
+        }
+    }
+}
+
+/// Repeated capture windows reuse the preallocated per-worker buffers: the
+/// arena must not grow after the tracer's construction-time checkout, no
+/// matter how many windows are drained.
+#[test]
+fn repeated_trace_windows_do_not_grow_the_arena() {
+    let pool = PalPool::builder()
+        .processors(2)
+        .trace(TraceConfig {
+            capacity_per_worker: 1 << 12,
+        })
+        .build()
+        .unwrap();
+    let after_build = pool.workspace().stats().grown_bytes;
+    assert!(after_build > 0, "trace buffers are arena-accounted");
+    let input: Vec<u64> = (0..4096).collect();
+    for i in 0..repeat(100).div_ceil(2) {
+        pool.scan(&input, 0u64, |a, b| a + b);
+        fib(&pool, 10);
+        let trace = pool.take_trace().expect("tracing was on");
+        assert!(trace.summary().forks > 0, "iteration {i}");
+    }
+    // Warm up once for the scan's own workspace buffers, then the steady
+    // state is allocation-free *including* the tracer.
+    let steady = pool.workspace().stats().grown_bytes;
+    pool.scan(&input, 0u64, |a, b| a + b);
+    let _ = pool.take_trace();
+    assert_eq!(
+        pool.workspace().stats().grown_bytes,
+        steady,
+        "a steady-state traced scan + drain must not grow the arena"
+    );
 }
 
 /// Both runtimes agree with the sequential result under repeated

@@ -40,6 +40,11 @@ pub struct NodeRecord {
     pub merge_started_at: u64,
     /// Time step at which the call completed.
     pub completed_at: u64,
+    /// Processor (0-based) the call was activated on.  The divide phase
+    /// runs here; the merge phase may run on a different processor (rule 3:
+    /// control returns to the parent on the last-finishing child's
+    /// processor).
+    pub processor: usize,
 }
 
 /// Result of simulating a [`TaskTree`] on `p` processors.
@@ -55,6 +60,13 @@ pub struct SimResult {
     pub critical_path: u64,
     /// Per-node timing records, indexed by node id.
     pub records: Vec<NodeRecord>,
+    /// Number of activations on a processor other than the one the node's
+    /// parent was activated on — the simulator's analogue of the real
+    /// pool's *steals*: a pending pal-thread picked up by a processor that
+    /// did not create it.  Handoffs along rules 2–3 (parent → first child,
+    /// completing child → next sibling on the *same* processor) are not
+    /// migrations; `p = 1` therefore always yields 0.
+    pub migrations: u64,
 }
 
 impl SimResult {
@@ -83,6 +95,25 @@ enum Phase {
     Waiting,
     Merge,
     Done,
+}
+
+/// Mutable state of one simulation run, threaded through the event loop.
+#[derive(Debug)]
+struct RunState {
+    /// Idle processor ids, lowest first.
+    free: BTreeSet<usize>,
+    /// Pending pal-threads, ordered by creation (pre-order) rank.
+    pending: BTreeSet<usize>,
+    /// Future phase-completion events: (time, preorder rank of node).
+    events: BTreeSet<(u64, usize)>,
+    phase: Vec<Phase>,
+    records: Vec<NodeRecord>,
+    children_remaining: Vec<usize>,
+    /// Processor each node is *currently* running on (activation processor
+    /// during the divide phase, possibly a child's processor once the merge
+    /// phase starts).
+    proc_now: Vec<usize>,
+    migrations: u64,
 }
 
 /// Step-accurate simulator of the pal-thread scheduler.
@@ -115,299 +146,150 @@ impl<'t> TreeSimulator<'t> {
     pub fn run(&self, p: usize) -> SimResult {
         assert!(p >= 1, "at least one processor is required");
         let n = self.tree.len();
-        let mut phase = vec![Phase::NotRequested; n];
-        let mut records = vec![NodeRecord::default(); n];
-        let mut children_remaining = vec![0usize; n];
-        let mut free = p;
-        // Pending pal-threads, ordered by creation (pre-order) rank.
-        let mut pending: BTreeSet<usize> = BTreeSet::new();
-        // Future phase-completion events: (time, preorder rank of node).
-        let mut events: BTreeSet<(u64, usize)> = BTreeSet::new();
+        let mut st = RunState {
+            free: (0..p).collect(),
+            pending: BTreeSet::new(),
+            events: BTreeSet::new(),
+            phase: vec![Phase::NotRequested; n],
+            records: vec![NodeRecord::default(); n],
+            children_remaining: vec![0usize; n],
+            proc_now: vec![0usize; n],
+            migrations: 0,
+        };
 
         let root = self.tree.root();
-        records[root].requested_at = 1;
-        phase[root] = Phase::Pending;
-        pending.insert(self.preorder_rank[root]);
-        self.dispatch(
-            1,
-            &mut free,
-            &mut pending,
-            &mut events,
-            &mut phase,
-            &mut records,
-            &mut children_remaining,
-        );
+        st.records[root].requested_at = 1;
+        st.phase[root] = Phase::Pending;
+        st.pending.insert(self.preorder_rank[root]);
+        self.dispatch(1, &mut st);
 
-        while let Some(&(time, rank)) = events.iter().next() {
-            events.remove(&(time, rank));
+        while let Some(&(time, rank)) = st.events.iter().next() {
+            st.events.remove(&(time, rank));
             let id = self.rank_to_node[rank];
-            match phase[id] {
-                Phase::Divide => self.on_divide_done(
-                    id,
-                    time,
-                    &mut free,
-                    &mut pending,
-                    &mut events,
-                    &mut phase,
-                    &mut records,
-                    &mut children_remaining,
-                ),
-                Phase::Merge => self.on_complete(
-                    id,
-                    time,
-                    &mut free,
-                    &mut pending,
-                    &mut events,
-                    &mut phase,
-                    &mut records,
-                    &mut children_remaining,
-                ),
+            match st.phase[id] {
+                Phase::Divide => self.on_divide_done(id, time, &mut st),
+                Phase::Merge => self.on_complete(id, time, &mut st),
                 other => unreachable!("event for node in phase {other:?}"),
             }
         }
 
         // The clock starts at step 1 (as in Figure 1), so the number of
         // elapsed wall-clock steps is the root's completion time minus one.
-        let makespan = records[root].completed_at.saturating_sub(1);
+        let makespan = st.records[root].completed_at.saturating_sub(1);
         SimResult {
             processors: p,
             makespan,
             total_work: self.tree.total_work(),
             critical_path: self.tree.critical_path(),
-            records,
+            records: st.records,
+            migrations: st.migrations,
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn dispatch(
-        &self,
-        time: u64,
-        free: &mut usize,
-        pending: &mut BTreeSet<usize>,
-        events: &mut BTreeSet<(u64, usize)>,
-        phase: &mut [Phase],
-        records: &mut [NodeRecord],
-        children_remaining: &mut [usize],
-    ) {
-        while *free > 0 {
-            let Some(&rank) = pending.iter().next() else {
-                break;
-            };
-            pending.remove(&rank);
-            *free -= 1;
-            let id = self.rank_to_node[rank];
-            self.activate(
-                id,
-                time,
-                free,
-                pending,
-                events,
-                phase,
-                records,
-                children_remaining,
-            );
+    /// Hand every idle processor (lowest id first) a pending pal-thread,
+    /// in creation order — the paper's default activation rule.
+    fn dispatch(&self, time: u64, st: &mut RunState) {
+        while let (Some(&proc), Some(&rank)) = (st.free.iter().next(), st.pending.iter().next()) {
+            st.free.remove(&proc);
+            st.pending.remove(&rank);
+            self.activate(self.rank_to_node[rank], time, proc, st);
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn activate(
-        &self,
-        id: usize,
-        time: u64,
-        free: &mut usize,
-        pending: &mut BTreeSet<usize>,
-        events: &mut BTreeSet<(u64, usize)>,
-        phase: &mut [Phase],
-        records: &mut [NodeRecord],
-        children_remaining: &mut [usize],
-    ) {
-        records[id].activated_at = time;
-        phase[id] = Phase::Divide;
+    /// Grant `proc` to node `id` and start its divide phase.  An activation
+    /// on a processor other than the parent's is counted as a migration.
+    fn activate(&self, id: usize, time: u64, proc: usize, st: &mut RunState) {
+        st.records[id].activated_at = time;
+        st.records[id].processor = proc;
+        st.proc_now[id] = proc;
+        if let Some(parent) = self.tree.node(id).parent {
+            if proc != st.records[parent].processor {
+                st.migrations += 1;
+            }
+        }
+        st.phase[id] = Phase::Divide;
         let cost = self.tree.node(id).divide_cost;
         if cost == 0 {
-            self.on_divide_done(
-                id,
-                time,
-                free,
-                pending,
-                events,
-                phase,
-                records,
-                children_remaining,
-            );
+            self.on_divide_done(id, time, st);
         } else {
-            events.insert((time + cost, self.preorder_rank[id]));
+            st.events.insert((time + cost, self.preorder_rank[id]));
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn on_divide_done(
-        &self,
-        id: usize,
-        time: u64,
-        free: &mut usize,
-        pending: &mut BTreeSet<usize>,
-        events: &mut BTreeSet<(u64, usize)>,
-        phase: &mut [Phase],
-        records: &mut [NodeRecord],
-        children_remaining: &mut [usize],
-    ) {
-        records[id].divide_done_at = time;
+    fn on_divide_done(&self, id: usize, time: u64, st: &mut RunState) {
+        st.records[id].divide_done_at = time;
         let node = self.tree.node(id);
         if node.is_leaf() {
-            records[id].merge_started_at = time;
-            self.start_merge(
-                id,
-                time,
-                free,
-                pending,
-                events,
-                phase,
-                records,
-                children_remaining,
-            );
+            let proc = st.proc_now[id];
+            self.start_merge(id, time, proc, st);
             return;
         }
         // Issue all children of the palthreads block, in creation order.
-        phase[id] = Phase::Waiting;
-        children_remaining[id] = node.children.len();
+        st.phase[id] = Phase::Waiting;
+        st.children_remaining[id] = node.children.len();
         for &c in &node.children {
-            records[c].requested_at = time;
-            phase[c] = Phase::Pending;
-            pending.insert(self.preorder_rank[c]);
+            st.records[c].requested_at = time;
+            st.phase[c] = Phase::Pending;
+            st.pending.insert(self.preorder_rank[c]);
         }
         // The parent's processor is assigned to its first pending child; any
         // other idle processors pick up the remaining children (and other
         // pending pal-threads) in creation order.
-        if let Some(first) = self.earliest_pending_child(id, pending, phase) {
-            pending.remove(&self.preorder_rank[first]);
-            self.activate(
-                first,
-                time,
-                free,
-                pending,
-                events,
-                phase,
-                records,
-                children_remaining,
-            );
+        let proc = st.proc_now[id];
+        if let Some(first) = self.earliest_pending_child(id, st) {
+            st.pending.remove(&self.preorder_rank[first]);
+            self.activate(first, time, proc, st);
         } else {
-            *free += 1;
+            st.free.insert(proc);
         }
-        self.dispatch(
-            time,
-            free,
-            pending,
-            events,
-            phase,
-            records,
-            children_remaining,
-        );
+        self.dispatch(time, st);
     }
 
-    fn earliest_pending_child(
-        &self,
-        id: usize,
-        pending: &BTreeSet<usize>,
-        phase: &[Phase],
-    ) -> Option<usize> {
+    fn earliest_pending_child(&self, id: usize, st: &RunState) -> Option<usize> {
         self.tree
             .node(id)
             .children
             .iter()
             .copied()
-            .find(|&c| phase[c] == Phase::Pending && pending.contains(&self.preorder_rank[c]))
+            .find(|&c| st.phase[c] == Phase::Pending && st.pending.contains(&self.preorder_rank[c]))
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn start_merge(
-        &self,
-        id: usize,
-        time: u64,
-        free: &mut usize,
-        pending: &mut BTreeSet<usize>,
-        events: &mut BTreeSet<(u64, usize)>,
-        phase: &mut [Phase],
-        records: &mut [NodeRecord],
-        children_remaining: &mut [usize],
-    ) {
-        phase[id] = Phase::Merge;
-        records[id].merge_started_at = time;
+    /// Start the merge phase of `id` on processor `proc` (rule 3: control
+    /// returns to the parent on the last-finishing child's processor).
+    fn start_merge(&self, id: usize, time: u64, proc: usize, st: &mut RunState) {
+        st.phase[id] = Phase::Merge;
+        st.records[id].merge_started_at = time;
+        st.proc_now[id] = proc;
         let cost = self.tree.node(id).merge_cost;
         if cost == 0 {
-            self.on_complete(
-                id,
-                time,
-                free,
-                pending,
-                events,
-                phase,
-                records,
-                children_remaining,
-            );
+            self.on_complete(id, time, st);
         } else {
-            events.insert((time + cost, self.preorder_rank[id]));
+            st.events.insert((time + cost, self.preorder_rank[id]));
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn on_complete(
-        &self,
-        id: usize,
-        time: u64,
-        free: &mut usize,
-        pending: &mut BTreeSet<usize>,
-        events: &mut BTreeSet<(u64, usize)>,
-        phase: &mut [Phase],
-        records: &mut [NodeRecord],
-        children_remaining: &mut [usize],
-    ) {
-        phase[id] = Phase::Done;
-        records[id].completed_at = time;
+    fn on_complete(&self, id: usize, time: u64, st: &mut RunState) {
+        st.phase[id] = Phase::Done;
+        st.records[id].completed_at = time;
+        let proc = st.proc_now[id];
         if let Some(parent) = self.tree.node(id).parent {
-            children_remaining[parent] -= 1;
-            if children_remaining[parent] == 0 {
+            st.children_remaining[parent] -= 1;
+            if st.children_remaining[parent] == 0 {
                 // Control returns to the parent on this processor.
-                self.start_merge(
-                    parent,
-                    time,
-                    free,
-                    pending,
-                    events,
-                    phase,
-                    records,
-                    children_remaining,
-                );
+                self.start_merge(parent, time, proc, st);
                 return;
             }
             // Otherwise the processor serves the next pending sibling, in
             // creation order.
-            if let Some(sibling) = self.earliest_pending_child(parent, pending, phase) {
-                pending.remove(&self.preorder_rank[sibling]);
-                self.activate(
-                    sibling,
-                    time,
-                    free,
-                    pending,
-                    events,
-                    phase,
-                    records,
-                    children_remaining,
-                );
+            if let Some(sibling) = self.earliest_pending_child(parent, st) {
+                st.pending.remove(&self.preorder_rank[sibling]);
+                self.activate(sibling, time, proc, st);
                 return;
             }
         }
         // Processor becomes free and is offered to pending pal-threads.
-        *free += 1;
-        self.dispatch(
-            time,
-            free,
-            pending,
-            events,
-            phase,
-            records,
-            children_remaining,
-        );
+        st.free.insert(proc);
+        self.dispatch(time, st);
     }
 }
 
@@ -449,6 +331,40 @@ mod tests {
         let result = TreeSimulator::new(&tree).run(1);
         assert_eq!(result.makespan, result.total_work);
         assert!((result.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_processor_never_migrates() {
+        // With a single processor every pal-thread runs where its parent
+        // ran — structurally zero migrations, like a p = 1 PalPool.
+        let tree = TaskTree::mergesort_figure1(64);
+        let result = TreeSimulator::new(&tree).run(1);
+        assert_eq!(result.migrations, 0);
+        assert!(result.records.iter().all(|r| r.processor == 0));
+    }
+
+    #[test]
+    fn migrations_count_cross_processor_activations() {
+        let tree = TaskTree::mergesort_figure1(16);
+        let result = TreeSimulator::new(&tree).run(4);
+        // Figure 1: at step 2 the root's two children are activated, one on
+        // the root's processor (handoff) and one on an idle processor (a
+        // migration) — so migrations are nonzero at p = 4 ...
+        assert!(result.migrations > 0);
+        // ... bounded by the number of non-root nodes, and recomputable
+        // from the per-node processor records.
+        let recount: u64 = tree
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(id, node)| {
+                node.parent
+                    .is_some_and(|p| result.records[*id].processor != result.records[p].processor)
+            })
+            .count() as u64;
+        assert_eq!(result.migrations, recount);
+        assert!(result.migrations < tree.len() as u64);
+        assert!(result.records.iter().all(|r| r.processor < 4));
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Replay round-trip properties: a trace captured from a real `PalPool`
+//! must (a) reproduce the pool's own `RunMetrics` accounting from the
+//! event stream alone, (b) survive the text serialization losslessly,
+//! (c) replay at the *capture* configuration to exactly the recorded
+//! fork and steal totals, and (d) replay at `p = 1` to a steal-free,
+//! fully elided prediction — ISSUE 6's property contract for the
+//! trace/replay loop.
+//!
+//! Workloads are random mixes of binary join trees (non-pass forks, whose
+//! call sites are configuration-independent) and blocked scans (pass
+//! forks, which the replayer recounts per configuration) so both halves of
+//! the fork-recount identity are exercised; cross-configuration fork
+//! predictions are validated against fresh measured pools.
+
+use lopram_core::{DagTrace, PalPool, TraceConfig};
+use lopram_sim::replay::{ReplayGrain, TraceReplay};
+use proptest::prelude::*;
+
+/// Processor counts every property is checked under.
+const P_SWEEP: [usize; 3] = [1, 2, 4];
+
+fn join_tree(pool: &PalPool, depth: u32) -> u64 {
+    if depth == 0 {
+        return 1;
+    }
+    let (a, b) = pool.join(|| join_tree(pool, depth - 1), || join_tree(pool, depth - 1));
+    a + b
+}
+
+/// Run `depth`-deep join trees and a scan over `len` elements on a traced
+/// pool; return the drained capture plus the pool's final counters.
+fn capture(p: usize, depth: u32, len: usize) -> (DagTrace, lopram_core::MetricsSnapshot) {
+    let pool = PalPool::builder()
+        .processors(p)
+        .trace(TraceConfig::default())
+        .build()
+        .unwrap();
+    let leaves = join_tree(&pool, depth);
+    assert_eq!(leaves, 1u64 << depth);
+    if len > 0 {
+        let input: Vec<u64> = (0..len as u64).collect();
+        let scan = pool.scan(&input, 0u64, |a, b| a + b);
+        assert_eq!(scan.total, input.iter().sum::<u64>());
+    }
+    let metrics = pool.metrics().snapshot();
+    let trace = pool.take_trace().expect("tracing was on");
+    (trace, metrics)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // (a) + (b): the capture reproduces the pool's accounting and the
+    // serialized format is lossless, at every p.
+    #[test]
+    fn capture_reproduces_run_metrics_and_roundtrips(
+        depth in 0u32..7,
+        len in 0usize..5000,
+    ) {
+        for p in P_SWEEP {
+            let (trace, m) = capture(p, depth, len);
+            prop_assert!(trace.is_complete(), "p = {}: capture dropped events", p);
+            let s = trace.summary();
+            prop_assert_eq!(s.forks, m.forks(), "forks, p = {}", p);
+            prop_assert_eq!(s.elided, m.elided, "elided, p = {}", p);
+            prop_assert_eq!(s.spawned, m.spawned, "spawned, p = {}", p);
+            prop_assert_eq!(s.inlined, m.inlined, "inlined, p = {}", p);
+            prop_assert_eq!(s.steals, m.steals, "steals, p = {}", p);
+            prop_assert_eq!(s.unclassified, 0u64, "quiesced capture, p = {}", p);
+            let roundtrip = DagTrace::from_text(&trace.to_text()).expect("own text parses");
+            prop_assert_eq!(roundtrip, trace, "text round-trip, p = {}", p);
+        }
+    }
+
+    // (c): replaying at the capture configuration is the identity on the
+    // recorded fork and steal totals.
+    #[test]
+    fn replay_at_capture_config_is_the_identity(
+        depth in 0u32..7,
+        len in 0usize..5000,
+    ) {
+        for p in P_SWEEP {
+            let (trace, _) = capture(p, depth, len);
+            let replay = TraceReplay::from_trace(trace);
+            let recorded = replay.recorded();
+            let same = replay.predict(p, 2.0, ReplayGrain::Adaptive);
+            prop_assert!(same.at_capture_config, "p = {}", p);
+            prop_assert_eq!(same.forks, recorded.forks, "forks, p = {}", p);
+            prop_assert_eq!(same.elided, recorded.elided, "elided, p = {}", p);
+            prop_assert_eq!(same.scheduled, recorded.scheduled, "scheduled, p = {}", p);
+            prop_assert_eq!(same.steals, recorded.steals, "steals, p = {}", p);
+        }
+    }
+
+    // (d): a single-processor replay is steal-free and fully elided, no
+    // matter what configuration the capture came from.
+    #[test]
+    fn replay_at_p1_is_steal_free(
+        depth in 0u32..7,
+        len in 0usize..5000,
+    ) {
+        for p in P_SWEEP {
+            let (trace, _) = capture(p, depth, len);
+            let replay = TraceReplay::from_trace(trace);
+            let one = replay.predict(1, 2.0, ReplayGrain::Adaptive);
+            prop_assert_eq!(one.steals, 0u64, "capture p = {}", p);
+            prop_assert_eq!(one.cutoff, 0usize, "capture p = {}", p);
+            prop_assert_eq!(one.elided, one.forks, "capture p = {}", p);
+            prop_assert_eq!(one.scheduled, 0u64, "capture p = {}", p);
+            prop_assert!(
+                (one.speedup() - 1.0).abs() < 1e-12,
+                "p = 1 replays sequentially (capture p = {})", p
+            );
+        }
+    }
+
+    // Cross-configuration fork prediction: join call sites are
+    // configuration-independent and pass forks are recounted with the
+    // pool's own grain policy, so a capture at any p predicts the fork
+    // count of a fresh pool at any other (p', grain') exactly.
+    #[test]
+    fn cross_config_fork_prediction_matches_fresh_pools(
+        depth in 0u32..6,
+        len in 0usize..4000,
+        capture_p_idx in 0usize..3,
+    ) {
+        let capture_p = P_SWEEP[capture_p_idx];
+        let (trace, _) = capture(capture_p, depth, len);
+        let replay = TraceReplay::from_trace(trace);
+        for grain in [ReplayGrain::Adaptive, ReplayGrain::Fixed(32)] {
+            for p in P_SWEEP {
+                let predicted = replay.predict(p, 2.0, grain);
+                let mut builder = PalPool::builder().processors(p);
+                if let ReplayGrain::Fixed(min) = grain {
+                    builder = builder.grain(min);
+                }
+                let pool = builder.build().unwrap();
+                join_tree(&pool, depth);
+                if len > 0 {
+                    let input: Vec<u64> = (0..len as u64).collect();
+                    pool.scan(&input, 0u64, |a, b| a + b);
+                }
+                prop_assert_eq!(
+                    predicted.forks,
+                    pool.metrics().forks(),
+                    "capture p = {} -> (p = {}, {:?})", capture_p, p, grain
+                );
+            }
+        }
+    }
+}

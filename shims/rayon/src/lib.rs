@@ -19,7 +19,7 @@
 //!   directly.  The pending task is not committed to anyone: it stays
 //!   available until a processor actually executes it.  The fork itself is
 //!   **allocation-free**: the job, its result slot and its completion latch
-//!   all live in one stack frame of the forking worker ([`StackJob`]); no
+//!   all live in one stack frame of the forking worker (`StackJob`); no
 //!   `Box`, no `Arc`, no mutex is touched.
 //! * **steal** — an idle worker takes the *oldest* pending task first: the
 //!   front of the injector, then the *top* of another worker's deque.  This
@@ -44,7 +44,7 @@
 //! worker with nothing to do publishes itself in a **sleep bitmap** (one
 //! `AtomicU64`, bit *i* = worker *i* is parked), re-checks the queues (so a
 //! push racing with the announcement is never lost past one
-//! [`IDLE_POLL`]), and parks with a timeout.  Every push wakes **exactly
+//! `IDLE_POLL`), and parks with a timeout.  Every push wakes **exactly
 //! one** sleeper: the pusher claims a set bit with a `fetch_and` and
 //! unparks only that worker — waking all `p − 1` sleepers for a single new
 //! task (the old `notify_all` thundering herd) cannot happen.  A worker
@@ -103,7 +103,7 @@ const IDLE_POLL: Duration = Duration::from_micros(500);
 
 /// Number of workers the sleep bitmap can address.  Workers with a higher
 /// index (pools wider than 64 — far beyond `p = O(log n)`) skip the bitmap
-/// and rely on the [`IDLE_POLL`] timeout alone.
+/// and rely on the `IDLE_POLL` timeout alone.
 const SLEEP_BITS: usize = u64::BITS as usize;
 
 /// Lock a mutex, ignoring poisoning (tasks catch their own panics, but be
@@ -147,7 +147,7 @@ impl WakeLatch {
     /// # Safety
     /// `this` must point to a live latch.  The moment the `Release` store
     /// lands, the owner may observe it and free the latch's memory (it
-    /// usually lives in a [`StackJob`] stack frame), so the owner handle is
+    /// usually lives in a `StackJob` stack frame), so the owner handle is
     /// cloned out *first* and nothing behind `this` is touched afterwards.
     #[allow(unsafe_code)]
     unsafe fn set_raw(this: *const WakeLatch) {
@@ -185,7 +185,7 @@ impl WakeLatch {
 
 /// A type-erased pointer to a pending task.
 ///
-/// `data` points either at a [`StackJob`] on the creator's stack (kept alive
+/// `data` points either at a `StackJob` on the creator's stack (kept alive
 /// because the creator blocks until the job's latch is set) or at a leaked
 /// [`HeapJob`] box (reclaimed by `execute_heap`).
 struct JobRef {
@@ -263,7 +263,7 @@ where
     }
 }
 
-/// Execute a [`StackJob`] on a thread other than its creator.  Setting the
+/// Execute a `StackJob` on a thread other than its creator.  Setting the
 /// latch is the executor's last touch of the creator's stack memory (see
 /// [`WakeLatch::set_raw`]).
 #[allow(unsafe_code)]
@@ -449,7 +449,7 @@ impl WorkerCtx {
     }
 
     /// Announce this worker in the sleep bitmap, re-check the queues, and
-    /// park (bounded by [`IDLE_POLL`]).  Returns `true` when the wake was a
+    /// park (bounded by `IDLE_POLL`).  Returns `true` when the wake was a
     /// deliberate notification (our bit was claimed by someone else).
     fn park_idle(&self) -> bool {
         let registry = &*self.registry;
@@ -745,6 +745,14 @@ impl ThreadPool {
     /// Number of worker threads this pool was built with.
     pub fn current_num_threads(&self) -> usize {
         self.registry.threads
+    }
+
+    /// Index of the calling thread within this pool's workers, or `None`
+    /// when the caller is not one of this pool's workers (external threads
+    /// and workers of *other* pools both report `None`).  Mirrors
+    /// `rayon::ThreadPool::current_thread_index`.
+    pub fn current_thread_index(&self) -> Option<usize> {
+        current_worker_in(&self.registry).map(|ctx| ctx.index)
     }
 
     /// Snapshot of this pool's scheduling counters.

@@ -7,17 +7,17 @@
 //! This crate simply re-exports the workspace members so downstream users can
 //! depend on a single crate:
 //!
-//! * [`core`](lopram_core) — the LoPRAM model, `p = O(log n)` processor
+//! * [`core`] — the LoPRAM model, `p = O(log n)` processor
 //!   policy and the pal-thread runtime;
-//! * [`sim`](lopram_sim) — a deterministic LoPRAM machine simulator
+//! * [`sim`] — a deterministic LoPRAM machine simulator
 //!   (CREW memory, pal-thread scheduler, execution-tree traces);
-//! * [`analysis`](lopram_analysis) — the sequential and parallel Master
+//! * [`analysis`] — the sequential and parallel Master
 //!   theorems, recurrence evaluators and DAG/antichain toolkit;
-//! * [`dnc`](lopram_dnc) — the divide-and-conquer framework and algorithm
+//! * [`dnc`] — the divide-and-conquer framework and algorithm
 //!   suite (§4.1);
-//! * [`dp`](lopram_dp) — the dynamic-programming framework, Algorithm 1
+//! * [`dp`] — the dynamic-programming framework, Algorithm 1
 //!   scheduler, wavefront executor and parallel memoization (§4.2–4.6);
-//! * [`graph`](lopram_graph) — irregular graph workloads (CSR graphs,
+//! * [`graph`] — irregular graph workloads (CSR graphs,
 //!   scan/pack-based frontier BFS, connected components, counting
 //!   kernels), each with a sequential twin for differential testing.
 //!
