@@ -24,6 +24,7 @@
 //! | `table_graph_speedup`  | E14: irregular graph kernels (scan/pack BFS, connected components, histogram, triangles) × shapes × p ∈ {1, 2, 4}; `--smoke` asserts parallel ≡ sequential, nonzero steals at p ≥ 2, exact fork accounting |
 //! | `bench_primitive_overhead` | E15: steady-state primitive cost — ns/element and allocs/call for scan/pack/BFS-level, unfused allocation-per-call twins vs the fused arena-backed production path; emits `BENCH_primitive_overhead.json` (`--smoke` asserts the ≥2× per-level allocation gate) |
 //! | `bench_trace_replay`   | E16: trace capture + deterministic replay — BFS traces captured at p ∈ {1, 2, 4} replayed across every (p, grain) via `lopram_sim::TraceReplay`; emits `BENCH_trace_replay.json` (`--smoke` asserts replay-predicted fork counts equal measured fork counts on every cell and p = 1 predictions are steal-free) |
+//! | `bench_partition_fuse` | E17: partition-and-fuse engine ablation — flat vs partitioned BFS/CC on a streamed-build `G(n, m)` and a grid, p ∈ {1, 2, 4} × parts ∈ {1, 2, 4}; emits `BENCH_partition_fuse.json` (`--smoke` asserts twin equality, exact per-phase fork closed forms, zero warmed arena growth, and ≤ 0.5 allocs/level for p = 1 partitioned BFS) |
 //!
 //! This crate is an internal tool (`publish = false`); its library half holds
 //! the shared measurement and pretty-printing helpers.

@@ -179,6 +179,28 @@ impl MetricsSnapshot {
     pub fn forks(&self) -> u64 {
         self.spawned + self.inlined + self.elided
     }
+
+    /// Counter movement between `earlier` and `self` (`self - earlier`,
+    /// fieldwise).
+    ///
+    /// The scheduling counters are monotone, so their deltas use plain
+    /// subtraction and panic on a reversed pair in debug builds.
+    /// `arena_bytes` is a signed (two's-complement) net — a workload that
+    /// shrinks shelved buffers can legitimately move it down — so its
+    /// delta wraps instead; re-interpreting the wrapped value as `i64`
+    /// yields the signed growth of the window.  This is the snapshot-side
+    /// half of [`PalPool::scoped_metrics`](crate::PalPool::scoped_metrics).
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            spawned: self.spawned - earlier.spawned,
+            inlined: self.inlined - earlier.inlined,
+            steals: self.steals - earlier.steals,
+            elided: self.elided - earlier.elided,
+            arena_hits: self.arena_hits - earlier.arena_hits,
+            arena_bytes: self.arena_bytes.wrapping_sub(earlier.arena_bytes),
+            work: self.work - earlier.work,
+        }
+    }
 }
 
 /// Assert the full fork-accounting invariant of a pal-thread run: every one
@@ -286,6 +308,39 @@ mod tests {
         );
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_delta_since_is_fieldwise_subtraction() {
+        let earlier = MetricsSnapshot {
+            spawned: 2,
+            inlined: 5,
+            steals: 1,
+            elided: 10,
+            arena_hits: 3,
+            arena_bytes: 1024,
+            work: 7,
+        };
+        let later = MetricsSnapshot {
+            spawned: 4,
+            inlined: 9,
+            steals: 2,
+            elided: 30,
+            arena_hits: 8,
+            arena_bytes: 512, // two's-complement net can go down
+            work: 7,
+        };
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.spawned, 2);
+        assert_eq!(delta.inlined, 4);
+        assert_eq!(delta.steals, 1);
+        assert_eq!(delta.elided, 20);
+        assert_eq!(delta.forks(), 26);
+        assert_eq!(delta.arena_hits, 5);
+        assert_eq!(delta.arena_bytes as i64, -512);
+        assert_eq!(delta.work, 0);
+        // Identical snapshots delta to zero.
+        assert_eq!(later.delta_since(&later), MetricsSnapshot::default());
     }
 
     #[test]

@@ -57,7 +57,7 @@ use parking_lot::Mutex;
 use super::trace::{self, DagTrace, TraceConfig, TraceEvent, TraceState};
 use super::workspace::Workspace;
 use crate::error::{Error, Result};
-use crate::metrics::RunMetrics;
+use crate::metrics::{MetricsSnapshot, RunMetrics};
 use crate::policy::{
     cutoff_levels, grain_size, ProcessorPolicy, DEFAULT_GRAIN, DEFAULT_STEAL_GRAIN,
 };
@@ -404,6 +404,27 @@ impl PalPool {
     pub fn metrics(&self) -> &RunMetrics {
         self.sync_metrics();
         &self.metrics
+    }
+
+    /// Run `f` and return its result together with the metrics delta it
+    /// produced: a [`MetricsSnapshot`] whose counters cover exactly the
+    /// window of the call (snapshot-before subtracted from
+    /// snapshot-after, each synced through the same delta-sync path as
+    /// [`metrics`](PalPool::metrics)).
+    ///
+    /// This is per-*call* attribution over the pool-global counters, not
+    /// isolation: the window is only attributable to `f` when no other
+    /// computation uses the pool concurrently (the single-client case
+    /// every current caller — kernels metering their own phases — is in).
+    /// Scoped deltas nest: an outer scope's delta includes every inner
+    /// scope's.  `lopram-graph` uses this to attribute the partition
+    /// pass, the per-partition local kernels and the fusion tree of its
+    /// partitioned kernels separately.
+    pub fn scoped_metrics<R>(&self, f: impl FnOnce() -> R) -> (R, MetricsSnapshot) {
+        let before = self.metrics().snapshot();
+        let result = f();
+        let after = self.metrics().snapshot();
+        (result, after.delta_since(&before))
     }
 
     /// Fold the runtime's stolen/inlined/injected counters and the
@@ -1045,6 +1066,41 @@ mod tests {
         let (a, b) = pool.join(|| 2 + 2, || "hello".len());
         assert_eq!(a, 4);
         assert_eq!(b, 5);
+    }
+
+    #[test]
+    fn scoped_metrics_attributes_exactly_the_call_window() {
+        fn tree(pool: &PalPool, depth: usize) {
+            if depth == 0 {
+                return;
+            }
+            pool.join(|| tree(pool, depth - 1), || tree(pool, depth - 1));
+        }
+        let pool = PalPool::new(2).unwrap();
+        // Warm-up work outside the scope must not leak into the delta.
+        tree(&pool, 3);
+        let ((), delta) = pool.scoped_metrics(|| tree(&pool, 4));
+        // A depth-4 binary join tree forks at every internal node:
+        // 2^4 - 1 = 15, schedule-independent.
+        assert_eq!(delta.forks(), 15);
+        assert!(delta.steals <= delta.spawned);
+        // The pool-global counters keep the warm-up too.
+        assert_eq!(pool.metrics().forks(), 7 + 15);
+        // An idle scope deltas to zero.
+        let ((), idle) = pool.scoped_metrics(|| ());
+        assert_eq!(idle, MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn scoped_metrics_deltas_nest() {
+        let pool = PalPool::new(2).unwrap();
+        let ((inner_r, inner), outer) = pool.scoped_metrics(|| {
+            pool.join(|| (), || ());
+            pool.scoped_metrics(|| pool.join(|| 1, || 2))
+        });
+        assert_eq!(inner_r, (1, 2));
+        assert_eq!(inner.forks(), 1);
+        assert_eq!(outer.forks(), 2, "outer window includes the inner scope");
     }
 
     #[test]

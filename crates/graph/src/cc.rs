@@ -17,6 +17,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use lopram_core::PalPool;
 
 use crate::csr::CsrGraph;
+use crate::fuse::{fuse, FusionNode};
+use crate::partition::{PartitionPhases, PartitionPlan};
 
 /// Sequential connected components: `labels[v]` is the smallest vertex id
 /// in `v`'s component — the differential twin of the parallel variants.
@@ -139,6 +141,172 @@ pub fn components_hook(graph: &CsrGraph, pool: &PalPool) -> Vec<usize> {
             return parent.iter().map(|p| p.load(Ordering::Relaxed)).collect();
         }
     }
+}
+
+/// Find the root of `v` in a plain union-find forest over the exclusive
+/// slice `parent` (base-shifted by `base`), with full path compression.
+/// Plain stores suffice: the fusion tree hands each caller exclusive
+/// ownership of the slice it touches.
+fn find(parent: &mut [usize], base: usize, v: usize) -> usize {
+    let mut root = v;
+    while parent[root - base] != root {
+        root = parent[root - base];
+    }
+    let mut cur = v;
+    while cur != root {
+        cur = std::mem::replace(&mut parent[cur - base], root);
+    }
+    root
+}
+
+/// Union the components of `v` and `u`, hooking the larger root under
+/// the smaller — the min-id root of a merged set always survives, which
+/// is what makes the final labelling deterministic.
+fn unite(parent: &mut [usize], base: usize, v: usize, u: usize) {
+    let rv = find(parent, base, v);
+    let ru = find(parent, base, u);
+    if rv != ru {
+        let (lo, hi) = (rv.min(ru), rv.max(ru));
+        parent[hi - base] = lo;
+    }
+}
+
+/// Partitioned connected components: plans a `parts`-way
+/// [`PartitionPlan`] and runs [`components_partitioned_with`] on it.
+/// Identical min-id labelling to [`components_seq`] for every processor
+/// and partition count.
+///
+/// Exact fork cost, schedule-independent:
+/// [`plan_forks`](crate::partition::plan_forks) for the plan plus
+/// `(parts − 1) + (chunk_count(n) − 1)` for the solve — one
+/// [`fuse`] tree and one final blocked flatten pass.
+///
+/// # Panics
+///
+/// Panics if `parts == 0`.
+pub fn components_partitioned(graph: &CsrGraph, pool: &PalPool, parts: usize) -> Vec<usize> {
+    let plan = PartitionPlan::new(graph, pool, parts);
+    components_partitioned_with(graph, pool, &plan)
+}
+
+/// [`components_partitioned`] on a pre-built plan.
+///
+/// One fusion tree over an arena-backed union-find parent array:
+///
+/// * **leaf** — partition `k` unions its *internal* edges (both
+///   endpoints local — cut arcs are skipped, zero cross-partition
+///   traffic) with plain min-hooking on its exclusive parent slice,
+///   then fully flattens its range to local stars.
+/// * **merge** — replays exactly the cut arcs whose endpoints meet for
+///   the first time at this node (left-half sources with right-half
+///   targets; the symmetric orientation is skipped), hooking across the
+///   reunified subtree slice, then path-compacts the processed boundary
+///   endpoints so ancestor merges see near-flat chains — the Afforest
+///   progression: local linking first, boundary resolution after.
+///
+/// The fusion tree's exclusive slices replace the flat kernel's
+/// compare-and-swap hooks ([`components_hook`]) with plain stores; the
+/// hook direction (min id wins) makes the result deterministic.  A final
+/// read-only [`map_collect`](PalPool::map_collect) chase flattens every
+/// vertex to its component's minimum id.
+pub fn components_partitioned_with(
+    graph: &CsrGraph,
+    pool: &PalPool,
+    plan: &PartitionPlan<'_>,
+) -> Vec<usize> {
+    let n = graph.vertices();
+    assert_eq!(plan.vertices(), n, "plan was built for a different graph");
+    if n == 0 {
+        return Vec::new();
+    }
+    let cuts = plan.cuts();
+    let mut parent = pool.workspace().checkout::<usize>();
+    parent.extend(0..n);
+    let mut state = vec![(); plan.parts()];
+
+    fuse(
+        pool,
+        cuts,
+        &mut parent,
+        &mut state,
+        &|node: FusionNode<'_, usize, ()>| {
+            let FusionNode { vertices, data, .. } = node;
+            let base = vertices.start;
+            for v in vertices.clone() {
+                // Sorted adjacency: the in-range, smaller-id neighbours
+                // form one contiguous run — each internal edge once.
+                for &u in graph.neighbors(v) {
+                    if u >= v {
+                        break;
+                    }
+                    if u >= base {
+                        unite(data, base, v, u);
+                    }
+                }
+            }
+            for v in vertices.clone() {
+                find(data, base, v);
+            }
+        },
+        &|node, (), ()| {
+            let FusionNode {
+                parts,
+                vertices,
+                data,
+                ..
+            } = node;
+            let base = vertices.start;
+            let mid = parts.start + parts.len() / 2;
+            let vsplit = cuts[mid];
+            for k in parts.start..mid {
+                for &(v, u) in plan.cut_arcs(k) {
+                    if u >= vsplit && u < vertices.end {
+                        unite(data, base, v, u);
+                    }
+                }
+            }
+            // Path compaction over the boundary labels just hooked, so
+            // ancestor merges chase O(1) chains from these endpoints.
+            for k in parts.start..mid {
+                for &(v, u) in plan.cut_arcs(k) {
+                    if u >= vsplit && u < vertices.end {
+                        find(data, base, v);
+                        find(data, base, u);
+                    }
+                }
+            }
+        },
+    );
+
+    let parent: &[usize] = &parent;
+    pool.map_collect(0..n, |v| {
+        let mut root = v;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        root
+    })
+}
+
+/// [`components_partitioned`] with per-phase metrics attribution via
+/// [`PalPool::scoped_metrics`]: returns the labels plus the plan and
+/// solve deltas separately (single-client window — see
+/// [`scoped_metrics`](PalPool::scoped_metrics)).
+pub fn components_partitioned_metered(
+    graph: &CsrGraph,
+    pool: &PalPool,
+    parts: usize,
+) -> (Vec<usize>, PartitionPhases) {
+    let (plan, plan_delta) = pool.scoped_metrics(|| PartitionPlan::new(graph, pool, parts));
+    let (labels, solve_delta) =
+        pool.scoped_metrics(|| components_partitioned_with(graph, pool, &plan));
+    (
+        labels,
+        PartitionPhases {
+            plan: plan_delta,
+            solve: solve_delta,
+        },
+    )
 }
 
 /// Number of distinct components in a labelling (counts distinct label

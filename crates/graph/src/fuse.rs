@@ -1,0 +1,226 @@
+//! The balanced binary fusion tree: the merge half of the partition-and-
+//! fuse execution engine.
+//!
+//! [`fuse`] runs a kernel *locally* on every partition of a
+//! [`PartitionPlan`](crate::partition::PartitionPlan) and merges boundary
+//! state pairwise up a balanced binary tree of
+//! [`PalPool::join`](lopram_core::PalPool::join)s — exactly the §3.1
+//! pal-thread fork shape, so the tree inherits the `⌈α·log₂ p⌉` cutoff
+//! and costs exactly `parts − 1` forks, schedule-independent.
+//!
+//! The tree's load-bearing property is **exclusive ownership by
+//! `split_at_mut`**: a leaf holds `&mut` slices of the vertex-indexed
+//! data and the per-partition state covering *its partition only*; a
+//! merge node holds them for *its whole subtree*, reunified after both
+//! children returned.  Kernels therefore need no atomics in the local
+//! phase — plain loads and stores, no cross-partition traffic — and
+//! every cut edge is resolved at the lowest tree node whose range covers
+//! both endpoints, sequentially and deterministically.  The panics of
+//! either child propagate through `join` unchanged.
+
+use std::ops::Range;
+
+use lopram_core::PalPool;
+
+/// The view a fusion-tree callback receives: exclusive slices of the
+/// vertex-indexed data and per-partition state for one subtree.
+///
+/// `data[i]` is vertex `vertices.start + i`'s entry; `state[j]` is
+/// partition `parts.start + j`'s.  A leaf sees `parts.len() == 1`; the
+/// root sees every partition.
+pub struct FusionNode<'a, V, S> {
+    /// The contiguous partition range this node covers.
+    pub parts: Range<usize>,
+    /// The vertex range those partitions own (`cuts[parts.start]..
+    /// cuts[parts.end]`).
+    pub vertices: Range<usize>,
+    /// Vertex-indexed data for `vertices`, base-shifted: index
+    /// `v - vertices.start`.
+    pub data: &'a mut [V],
+    /// Per-partition state for `parts`, base-shifted: index
+    /// `k - parts.start`.
+    pub state: &'a mut [S],
+}
+
+impl<V, S> FusionNode<'_, V, S> {
+    /// `true` iff `v` is owned by this node's subtree.
+    pub fn owns(&self, v: usize) -> bool {
+        self.vertices.contains(&v)
+    }
+
+    /// The data entry of vertex `v` (which must be owned by this node).
+    pub fn datum(&mut self, v: usize) -> &mut V {
+        &mut self.data[v - self.vertices.start]
+    }
+}
+
+/// Run `leaf` on every partition and fold the results pairwise up a
+/// balanced binary join tree; returns the root's merged value.
+///
+/// * `cuts` — the plan's cut array (`parts + 1` entries);
+///   `data.len()` must equal `cuts[parts] - cuts[0]` and `state.len()`
+///   must equal `parts`.
+/// * `leaf(node)` — the local kernel: runs with exclusive access to one
+///   partition's slices, returns that partition's boundary summary.
+/// * `merge(node, left, right)` — fuses two children's summaries with
+///   exclusive access to the whole subtree's slices (this is where cut
+///   edges whose endpoints meet for the first time are replayed).
+///
+/// Fork cost: exactly `parts − 1` (one `join` per internal node),
+/// counted like any other pal-thread creation in
+/// [`RunMetrics`](lopram_core::RunMetrics).
+///
+/// # Panics
+///
+/// Panics if `state` is empty or the slice lengths disagree with `cuts`.
+pub fn fuse<V, S, R>(
+    pool: &PalPool,
+    cuts: &[usize],
+    data: &mut [V],
+    state: &mut [S],
+    leaf: &(impl Fn(FusionNode<'_, V, S>) -> R + Sync),
+    merge: &(impl Fn(FusionNode<'_, V, S>, R, R) -> R + Sync),
+) -> R
+where
+    V: Send,
+    S: Send,
+    R: Send,
+{
+    let parts = state.len();
+    assert!(parts > 0, "fusion tree needs at least one partition");
+    assert_eq!(cuts.len(), parts + 1, "cuts must have parts + 1 entries");
+    assert_eq!(
+        data.len(),
+        cuts[parts] - cuts[0],
+        "data must cover exactly the planned vertex range"
+    );
+    fuse_rec(pool, cuts, 0, parts, data, state, leaf, merge)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fuse_rec<V, S, R>(
+    pool: &PalPool,
+    cuts: &[usize],
+    lo: usize,
+    hi: usize,
+    data: &mut [V],
+    state: &mut [S],
+    leaf: &(impl Fn(FusionNode<'_, V, S>) -> R + Sync),
+    merge: &(impl Fn(FusionNode<'_, V, S>, R, R) -> R + Sync),
+) -> R
+where
+    V: Send,
+    S: Send,
+    R: Send,
+{
+    if hi - lo == 1 {
+        return leaf(FusionNode {
+            parts: lo..hi,
+            vertices: cuts[lo]..cuts[hi],
+            data,
+            state,
+        });
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (data_l, data_r) = data.split_at_mut(cuts[mid] - cuts[lo]);
+    let (state_l, state_r) = state.split_at_mut(mid - lo);
+    let (left, right) = pool.join(
+        || fuse_rec(pool, cuts, lo, mid, data_l, state_l, leaf, merge),
+        || fuse_rec(pool, cuts, mid, hi, data_r, state_r, leaf, merge),
+    );
+    merge(
+        FusionNode {
+            parts: lo..hi,
+            vertices: cuts[lo]..cuts[hi],
+            data,
+            state,
+        },
+        left,
+        right,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaves_see_their_partition_and_merges_reunify() {
+        let pool = PalPool::new(2).unwrap();
+        let cuts = [0usize, 3, 5, 9, 10];
+        let mut data = [0usize; 10];
+        let mut state = [0usize; 4];
+        // Leaf: stamp every owned datum with the partition id + 1 and
+        // return the partition's vertex count.
+        let total = fuse(
+            &pool,
+            &cuts,
+            &mut data,
+            &mut state,
+            &|mut node| {
+                let k = node.parts.start;
+                assert_eq!(node.parts.len(), 1);
+                assert_eq!(node.vertices, cuts[k]..cuts[k + 1]);
+                assert_eq!(node.data.len(), node.vertices.len());
+                for v in node.vertices.clone() {
+                    *node.datum(v) = k + 1;
+                }
+                node.state[0] = k + 1;
+                node.vertices.len()
+            },
+            &|node, l, r| {
+                // The merge sees the reunified subtree slices.
+                assert_eq!(node.data.len(), node.vertices.len());
+                assert_eq!(node.state.len(), node.parts.len());
+                l + r
+            },
+        );
+        assert_eq!(total, 10);
+        assert_eq!(data, [1, 1, 1, 2, 2, 3, 3, 3, 3, 4]);
+        assert_eq!(state, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fork_count_is_parts_minus_one() {
+        for p in [1, 2, 4] {
+            let pool = PalPool::new(p).unwrap();
+            for parts in [1usize, 2, 3, 5, 8] {
+                let cuts: Vec<usize> = (0..=parts).map(|k| k * 4).collect();
+                let mut data = vec![0u8; parts * 4];
+                let mut state = vec![(); parts];
+                let ((), delta) = pool.scoped_metrics(|| {
+                    fuse(
+                        &pool,
+                        &cuts,
+                        &mut data,
+                        &mut state,
+                        &|_| (),
+                        &|_, (), ()| (),
+                    );
+                });
+                assert_eq!(
+                    delta.forks(),
+                    parts as u64 - 1,
+                    "fusion tree forks at p = {p}, parts = {parts}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_partitions_are_legal() {
+        let pool = PalPool::new(2).unwrap();
+        let cuts = [0usize, 0, 2, 2];
+        let mut data = [7u32; 2];
+        let mut state = [0usize; 3];
+        let visited = fuse(
+            &pool,
+            &cuts,
+            &mut data,
+            &mut state,
+            &|node| node.vertices.len(),
+            &|_, l, r| l + r,
+        );
+        assert_eq!(visited, 2);
+    }
+}

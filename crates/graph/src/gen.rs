@@ -25,6 +25,22 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
     CsrGraph::from_undirected_edges(n, &edges)
 }
 
+/// [`gnm`] without the materialized edge list: the same seeded edge
+/// stream is regenerated for each counting-sort pass of
+/// [`CsrGraph::from_undirected_edges_streamed`], so peak extra memory is
+/// `O(n)` instead of the `O(m)` edge vector plus `O(2m)` sort buffer.
+/// Produces a graph *identical* to `gnm(n, m, seed)` — the partition
+/// benches use this to reach ~10⁶ edges.
+pub fn gnm_streamed(n: usize, m: usize, seed: u64) -> CsrGraph {
+    if n < 2 {
+        return CsrGraph::from_undirected_edges(n, &[]);
+    }
+    CsrGraph::from_undirected_edges_streamed(n, || {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..m).map(move |_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+    })
+}
+
 /// A `rows × cols` 4-neighbour lattice — the diameter-heavy regular shape
 /// (BFS runs `rows + cols − 2` levels, so the frontier loop dominates).
 pub fn grid(rows: usize, cols: usize) -> CsrGraph {
@@ -82,6 +98,17 @@ mod tests {
         assert_eq!(gnm(64, 256, 7), gnm(64, 256, 7));
         assert_ne!(gnm(64, 256, 7), gnm(64, 256, 8));
         assert_eq!(gnm(1, 10, 3).arcs(), 0);
+    }
+
+    #[test]
+    fn gnm_streamed_equals_gnm() {
+        for &(n, m, seed) in &[(2, 1, 0), (64, 256, 7), (100, 1000, 42), (1, 10, 3)] {
+            assert_eq!(
+                gnm_streamed(n, m, seed),
+                gnm(n, m, seed),
+                "G({n}, {m}) seed {seed}"
+            );
+        }
     }
 
     #[test]

@@ -27,7 +27,13 @@
 //!   ([`cc::components_hook`]), twin [`cc::components_seq`];
 //! * [`kernels`] — degree histogram (via
 //!   [`reduce_by_index`](lopram_core::PalPool::reduce_by_index)) and
-//!   ordered triangle count, with twins.
+//!   ordered triangle count, with twins;
+//! * [`partition`] / [`fuse`] — the **partition-and-fuse execution
+//!   engine**: degree-balanced contiguous vertex partitions with explicit
+//!   cut-arc sets ([`partition::PartitionPlan`]), and a balanced binary
+//!   fusion tree ([`fuse::fuse`]) that runs kernels locally per partition
+//!   and merges boundary state pairwise — used by
+//!   [`bfs::bfs_partitioned`] and [`cc::components_partitioned`].
 //!
 //! Every parallel kernel has a sequential twin producing bit-identical
 //! output for any processor count; `tests/differential.rs` checks that
@@ -41,18 +47,25 @@
 pub mod bfs;
 pub mod cc;
 pub mod csr;
+pub mod fuse;
 pub mod gen;
 pub mod kernels;
+pub mod partition;
 
 pub use csr::CsrGraph;
 
 /// Convenience prelude re-exporting the items most users need.
 pub mod prelude {
-    pub use crate::bfs::{bfs_par, bfs_seq, levels, UNREACHED};
-    pub use crate::cc::{component_count, components_hook, components_label_prop, components_seq};
+    pub use crate::bfs::{bfs_par, bfs_partitioned, bfs_seq, levels, UNREACHED};
+    pub use crate::cc::{
+        component_count, components_hook, components_label_prop, components_partitioned,
+        components_seq,
+    };
     pub use crate::csr::CsrGraph;
-    pub use crate::gen::{binary_tree, gnm, grid, path, star};
+    pub use crate::fuse::{fuse, FusionNode};
+    pub use crate::gen::{binary_tree, gnm, gnm_streamed, grid, path, star};
     pub use crate::kernels::{
         degree_histogram, degree_histogram_seq, triangle_count, triangle_count_seq,
     };
+    pub use crate::partition::{plan_forks, PartitionPhases, PartitionPlan};
 }

@@ -11,8 +11,24 @@
 //! forks, which the replayer recounts per configuration) so both halves of
 //! the fork-recount identity are exercised; cross-configuration fork
 //! predictions are validated against fresh measured pools.
+//!
+//! Two further workload families extend the coverage beyond the balanced
+//! shapes:
+//!
+//! * E12's **unbalanced divide-and-conquer tree** (each level joins a
+//!   cheap leaf against the rest of the chain) — maximally skewed join
+//!   structure, still configuration-independent, so cross-configuration
+//!   fork prediction must stay exact;
+//! * a **DP wavefront** (`PrefixChain` under `solve_wavefront`) — its
+//!   forks are `for_each_index` scope spawns, which the replayer carries
+//!   *as recorded*.  Spawn counts are a pure function of `(len, p)` but
+//!   `p`-*dependent* (`index_chunk_count`), so replay exactness holds at
+//!   the capture configuration (and against a fresh pool at the capture
+//!   `p`), while cross-`p` prediction is deliberately out of contract
+//!   for spawn-based workloads and excluded here.
 
 use lopram_core::{DagTrace, PalPool, TraceConfig};
+use lopram_dp::prelude::{solve_sequential, solve_wavefront, PrefixChain};
 use lopram_sim::replay::{ReplayGrain, TraceReplay};
 use proptest::prelude::*;
 
@@ -25,6 +41,43 @@ fn join_tree(pool: &PalPool, depth: u32) -> u64 {
     }
     let (a, b) = pool.join(|| join_tree(pool, depth - 1), || join_tree(pool, depth - 1));
     a + b
+}
+
+/// E12's unbalanced divide-and-conquer shape (without the sleeps): each
+/// level forks a trivial leaf against the rest of the chain, so the tree
+/// is a maximally skewed chain of `depth` joins — `depth` forks total,
+/// configuration-independent.
+fn unbalanced(pool: &PalPool, depth: u32) -> u64 {
+    if depth == 0 {
+        return 1;
+    }
+    let (leaf, rest) = pool.join(|| 1u64, || unbalanced(pool, depth - 1));
+    leaf + rest
+}
+
+/// A traced pool builder at `p`.
+fn traced_pool(p: usize) -> PalPool {
+    PalPool::builder()
+        .processors(p)
+        .trace(TraceConfig::default())
+        .build()
+        .unwrap()
+}
+
+/// Assert the capture-fidelity half of the contract: lossless capture,
+/// summary == RunMetrics, text round-trip.
+#[track_caller]
+fn assert_capture_fidelity(trace: &DagTrace, m: &lopram_core::MetricsSnapshot, p: usize) {
+    assert!(trace.is_complete(), "p = {p}: capture dropped events");
+    let s = trace.summary();
+    assert_eq!(s.forks, m.forks(), "forks, p = {p}");
+    assert_eq!(s.elided, m.elided, "elided, p = {p}");
+    assert_eq!(s.spawned, m.spawned, "spawned, p = {p}");
+    assert_eq!(s.inlined, m.inlined, "inlined, p = {p}");
+    assert_eq!(s.steals, m.steals, "steals, p = {p}");
+    assert_eq!(s.unclassified, 0, "quiesced capture, p = {p}");
+    let roundtrip = DagTrace::from_text(&trace.to_text()).expect("own text parses");
+    assert_eq!(&roundtrip, trace, "text round-trip, p = {p}");
 }
 
 /// Run `depth`-deep join trees and a scan over `len` elements on a traced
@@ -146,6 +199,94 @@ proptest! {
                     "capture p = {} -> (p = {}, {:?})", capture_p, p, grain
                 );
             }
+        }
+    }
+
+    // E12's unbalanced chain: the maximally skewed join tree must satisfy
+    // the whole contract — capture fidelity, identity replay, steal-free
+    // p = 1, and exact cross-configuration fork prediction (all its forks
+    // are configuration-independent call sites: exactly `depth` at any
+    // (p, grain)).
+    #[test]
+    fn unbalanced_tree_replay_is_exact_across_configs(
+        depth in 0u32..24,
+        capture_p_idx in 0usize..3,
+    ) {
+        let capture_p = P_SWEEP[capture_p_idx];
+        let pool = traced_pool(capture_p);
+        let leaves = unbalanced(&pool, depth);
+        prop_assert_eq!(leaves, depth as u64 + 1);
+        let m = pool.metrics().snapshot();
+        prop_assert_eq!(m.forks(), depth as u64, "one fork per chain level");
+        let trace = pool.take_trace().expect("tracing was on");
+        assert_capture_fidelity(&trace, &m, capture_p);
+
+        let replay = TraceReplay::from_trace(trace);
+        let recorded = replay.recorded();
+        let same = replay.predict(capture_p, 2.0, ReplayGrain::Adaptive);
+        prop_assert!(same.at_capture_config);
+        prop_assert_eq!(same.forks, recorded.forks);
+        prop_assert_eq!(same.steals, recorded.steals);
+        let one = replay.predict(1, 2.0, ReplayGrain::Adaptive);
+        prop_assert_eq!(one.steals, 0u64);
+        prop_assert_eq!(one.elided, one.forks);
+        prop_assert_eq!(one.scheduled, 0u64);
+        for p in P_SWEEP {
+            let predicted = replay.predict(p, 2.0, ReplayGrain::Adaptive);
+            let fresh = PalPool::new(p).unwrap();
+            unbalanced(&fresh, depth);
+            prop_assert_eq!(
+                predicted.forks,
+                fresh.metrics().forks(),
+                "capture p = {} -> p = {}", capture_p, p
+            );
+            prop_assert_eq!(predicted.forks, depth as u64);
+        }
+    }
+
+    // A DP wavefront (PrefixChain): every fork is a `for_each_index`
+    // scope spawn the replayer carries as recorded.  Spawn counts are
+    // pure in (len, p) but p-dependent, so the contract here is capture
+    // fidelity, identity replay, steal-free p = 1, and fork exactness
+    // against a fresh pool at the *capture* p — cross-p prediction is
+    // out of contract for spawn-based workloads (see module docs).
+    #[test]
+    fn dp_wavefront_replay_is_exact_at_capture_config(
+        len in 1usize..120,
+        seed in 0i64..1000,
+    ) {
+        let values: Vec<i64> = (0..len as i64).map(|i| (i * 31 + seed) % 97 - 48).collect();
+        let problem = PrefixChain::new(values);
+        let expected = solve_sequential(&problem).goal;
+        for p in P_SWEEP {
+            let pool = traced_pool(p);
+            let solution = solve_wavefront(&problem, &pool);
+            prop_assert_eq!(solution.goal, expected, "wavefront diverged at p = {}", p);
+            let m = pool.metrics().snapshot();
+            let trace = pool.take_trace().expect("tracing was on");
+            assert_capture_fidelity(&trace, &m, p);
+
+            let replay = TraceReplay::from_trace(trace);
+            let recorded = replay.recorded();
+            let same = replay.predict(p, 2.0, ReplayGrain::Adaptive);
+            prop_assert!(same.at_capture_config, "p = {}", p);
+            prop_assert_eq!(same.forks, recorded.forks, "identity forks, p = {}", p);
+            prop_assert_eq!(same.steals, recorded.steals, "identity steals, p = {}", p);
+            let one = replay.predict(1, 2.0, ReplayGrain::Adaptive);
+            prop_assert_eq!(one.steals, 0u64, "p = {}", p);
+            prop_assert_eq!(one.scheduled, 0u64, "p = {}", p);
+            prop_assert_eq!(one.elided, one.forks, "p = {}", p);
+            // Replay exactness against a fresh measured pool at the
+            // capture configuration: spawn counts are deterministic at
+            // fixed p.
+            let fresh = PalPool::new(p).unwrap();
+            let fresh_solution = solve_wavefront(&problem, &fresh);
+            prop_assert_eq!(fresh_solution.goal, expected);
+            prop_assert_eq!(
+                same.forks,
+                fresh.metrics().forks(),
+                "fresh pool at capture p = {}", p
+            );
         }
     }
 }
