@@ -1,0 +1,518 @@
+//! Experiment E18 — the `lopram-serve` multi-tenant job service under
+//! seeded many-client traffic ([`lopram_bench::traffic::TrafficPlan`]).
+//!
+//! Three phases, each against a fresh service over a shared 2-processor
+//! `PalPool`:
+//!
+//! 1. **Differential fault injection** — the same seeded traffic runs
+//!    once fault-free and once under a seeded [`FaultPlan`] (panics,
+//!    cancels, deadline stalls at chosen steps of chosen jobs).  Every
+//!    non-faulted job must produce the digest the plan predicts — bit
+//!    identical to the fault-free run — and every faulted job must fail
+//!    with exactly its planned failure mode.
+//! 2. **Saturation burst** — one client thread per tenant floods a
+//!    small bounded queue without retrying.  The queue must bounce the
+//!    excess with [`SubmitError::Rejected`] (backpressure, never
+//!    unbounded buffering), every admitted job must complete, and the
+//!    max/min per-tenant completion ratio — the fairness number — must
+//!    stay bounded.
+//! 3. **Exclusive throughput** — a single executor drains the full mix
+//!    while clients retry-until-admitted.  Reports throughput, p50/p99
+//!    queue wait and the **fork conservation** check: with one executor
+//!    every job's metrics are exclusive, so the per-job fork counts
+//!    must sum exactly to the pool's aggregate fork delta.
+//!
+//! `--smoke` (and the full run — the checks are cheap) asserts the
+//! gates listed per phase; everything lands in `BENCH_serve.json`, the
+//! committed cross-PR baseline the `bench-baseline` CI job parses.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lopram_bench::traffic::TrafficPlan;
+use lopram_serve::{Fault, FaultPlan, JobError, JobReport, JobService, ServeConfig, SubmitError};
+
+const TENANTS: usize = 3;
+
+fn percentile(sorted: &[Duration], pct: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * pct / 100.0).round() as usize;
+    sorted[idx]
+}
+
+struct DifferentialResult {
+    jobs: u64,
+    faulted: usize,
+    mismatches: u64,
+    wrong_failure_modes: u64,
+    panicked: u64,
+    cancelled: u64,
+    deadline_exceeded: u64,
+}
+
+/// Phase 1: faulted vs fault-free run of the same seeded traffic.
+fn run_differential(seed: u64, jobs: u64, rate: f64) -> DifferentialResult {
+    let traffic = TrafficPlan::seeded(seed, jobs, TENANTS);
+    let faults = FaultPlan::seeded(seed ^ 0xFA17_ED00, jobs, rate);
+    let none = FaultPlan::none();
+    let mut outcomes: Vec<Vec<Result<u64, JobError>>> = Vec::new();
+    for plan in [&none, &faults] {
+        let service = JobService::start(ServeConfig {
+            tenants: TENANTS,
+            tenant_budget: 2,
+            queue_capacity: jobs as usize,
+            executors: 2,
+            processors: 2,
+            fault_plan: (*plan).clone(),
+            ..ServeConfig::default()
+        });
+        // Retry on quota rejection: the seeded mix draws tenants
+        // unevenly, so a tenant can transiently exceed its admission
+        // quota before the executors drain it.  Retrying preserves
+        // submission order, so service job ids still match plan indices.
+        let tickets: Vec<_> = (0..jobs)
+            .map(|i| loop {
+                match service.submit(traffic.spec(i, plan)) {
+                    Ok(t) => break t,
+                    Err(SubmitError::Rejected { .. }) => std::thread::yield_now(),
+                    Err(other) => panic!("unexpected submit error: {other}"),
+                }
+            })
+            .collect();
+        outcomes.push(tickets.into_iter().map(|t| t.wait().outcome).collect());
+        service.shutdown();
+    }
+    let (clean, faulted_run) = (&outcomes[0], &outcomes[1]);
+
+    let mut result = DifferentialResult {
+        jobs,
+        faulted: faults.len(),
+        mismatches: 0,
+        wrong_failure_modes: 0,
+        panicked: 0,
+        cancelled: 0,
+        deadline_exceeded: 0,
+    };
+    for i in 0..jobs {
+        let expected = traffic.expected(i);
+        match faults.fault_for(i) {
+            None => {
+                // Clean runs must hit the plan's predicted digest, and the
+                // faulted run must agree on every non-faulted job.
+                if clean[i as usize] != Ok(expected) || faulted_run[i as usize] != Ok(expected) {
+                    result.mismatches += 1;
+                }
+            }
+            Some(fault) => {
+                let ok = match (fault, &faulted_run[i as usize]) {
+                    (Fault::Panic { .. }, Err(JobError::Panicked(_))) => {
+                        result.panicked += 1;
+                        true
+                    }
+                    (Fault::Cancel { .. }, Err(JobError::Cancelled)) => {
+                        result.cancelled += 1;
+                        true
+                    }
+                    (Fault::Deadline { .. }, Err(JobError::DeadlineExceeded)) => {
+                        result.deadline_exceeded += 1;
+                        true
+                    }
+                    _ => false,
+                };
+                if !ok {
+                    result.wrong_failure_modes += 1;
+                }
+            }
+        }
+    }
+    result
+}
+
+struct SaturationResult {
+    offered: u64,
+    admitted: u64,
+    rejected_local: u64,
+    queue_capacity: usize,
+    queue_peak: usize,
+    fairness_ratio: f64,
+    per_tenant_completed: Vec<u64>,
+}
+
+/// Phase 2: closed-loop clients keep the bounded queue saturated for a
+/// fixed window.  Each tenant maintains a fixed in-flight backlog
+/// larger than its fair share of the queue (3 backlogs > capacity), so
+/// every tenant's subqueue stays non-empty, the queue stays full, and
+/// the fairness number measures the service's round-robin dispatcher —
+/// not OS scheduling of the client threads.
+fn run_saturation(seed: u64, window: Duration, capacity: usize) -> SaturationResult {
+    let traffic = Arc::new(TrafficPlan::seeded(seed, 64, TENANTS));
+    let service = Arc::new(JobService::start(ServeConfig {
+        tenants: TENANTS,
+        tenant_budget: 1,
+        queue_capacity: capacity,
+        executors: 2,
+        processors: 2,
+        ..ServeConfig::default()
+    }));
+    let none = FaultPlan::none();
+    let backlog = capacity * 2 / TENANTS; // 3 backlogs = 2x capacity
+    let (offered, rejected_local) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..TENANTS)
+            .map(|tenant| {
+                let service = Arc::clone(&service);
+                let traffic = Arc::clone(&traffic);
+                let none = none.clone();
+                s.spawn(move || {
+                    let end = Instant::now() + window;
+                    let mut offered = 0u64;
+                    let mut rejected = 0u64;
+                    let mut outstanding = std::collections::VecDeque::new();
+                    let mut k = 0u64;
+                    while Instant::now() < end {
+                        // Refill the backlog.  Clients re-route their
+                        // planned mix onto their own tenant id so offered
+                        // load is exactly balanced.
+                        while outstanding.len() < backlog && Instant::now() < end {
+                            let i = k % traffic.len();
+                            k += 1;
+                            let spec = traffic.spec(i, &none).for_tenant(tenant);
+                            offered += 1;
+                            match service.submit(spec) {
+                                Ok(t) => outstanding.push_back(t),
+                                Err(SubmitError::Rejected { queue_depth }) => {
+                                    assert!(queue_depth <= capacity, "depth bound violated");
+                                    rejected += 1;
+                                    break;
+                                }
+                                Err(other) => panic!("unexpected submit error: {other}"),
+                            }
+                        }
+                        // Block on the oldest ticket instead of burning CPU
+                        // re-offering: the backlog is the offered pressure.
+                        match outstanding.pop_front() {
+                            Some(t) => {
+                                assert!(t.wait().outcome.is_ok(), "admitted job failed");
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    for t in outstanding {
+                        assert!(t.wait().outcome.is_ok(), "admitted job failed");
+                    }
+                    (offered, rejected)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold((0u64, 0u64), |(o, r), (po, pr)| (o + po, r + pr))
+    });
+    let service = Arc::into_inner(service).expect("clients done");
+    let stats = service.shutdown();
+    SaturationResult {
+        offered,
+        admitted: stats.submitted,
+        rejected_local,
+        queue_capacity: capacity,
+        queue_peak: stats.queue_peak,
+        fairness_ratio: stats.fairness_ratio(),
+        per_tenant_completed: stats.per_tenant_completed,
+    }
+}
+
+struct ThroughputResult {
+    jobs: u64,
+    wall: Duration,
+    jobs_per_sec: f64,
+    queue_wait_p50: Duration,
+    queue_wait_p99: Duration,
+    exclusive_fraction: f64,
+    fork_total: u64,
+    fork_sum: u64,
+}
+
+/// Phase 3: one executor, clients retry until admitted, fork
+/// conservation over the whole phase.
+fn run_throughput(seed: u64, jobs: u64) -> ThroughputResult {
+    let traffic = Arc::new(TrafficPlan::seeded(seed, jobs, TENANTS));
+    let service = Arc::new(JobService::start(ServeConfig {
+        tenants: TENANTS,
+        tenant_budget: 1,
+        queue_capacity: 16,
+        executors: 1,
+        processors: 2,
+        ..ServeConfig::default()
+    }));
+    let none = FaultPlan::none();
+    let before = service.pool().metrics().snapshot();
+    let started = Instant::now();
+    let reports: Vec<JobReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..TENANTS)
+            .map(|tenant| {
+                let service = Arc::clone(&service);
+                let traffic = Arc::clone(&traffic);
+                let none = none.clone();
+                s.spawn(move || {
+                    let mut reports = Vec::new();
+                    for i in 0..traffic.len() {
+                        if traffic.job(i).tenant != tenant {
+                            continue;
+                        }
+                        loop {
+                            match service.submit(traffic.spec(i, &none)) {
+                                Ok(t) => {
+                                    reports.push((i, t));
+                                    break;
+                                }
+                                Err(SubmitError::Rejected { .. }) => std::thread::yield_now(),
+                                Err(other) => panic!("unexpected submit error: {other}"),
+                            }
+                        }
+                    }
+                    reports
+                        .into_iter()
+                        .map(|(i, t)| {
+                            let report = t.wait();
+                            assert_eq!(
+                                report.outcome,
+                                Ok(traffic.expected(i)),
+                                "job {i} digest under throughput load"
+                            );
+                            report
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let wall = started.elapsed();
+    let after = service.pool().metrics().snapshot();
+    let fork_total = after.delta_since(&before).forks();
+    let fork_sum: u64 = reports.iter().map(|r| r.metrics.forks()).sum();
+    let exclusive = reports.iter().filter(|r| r.metrics_exclusive).count();
+    let mut waits: Vec<Duration> = reports.iter().map(|r| r.queue_wait).collect();
+    waits.sort_unstable();
+    let completed = reports.len() as u64;
+    let service = Arc::into_inner(service).expect("clients done");
+    service.shutdown();
+    ThroughputResult {
+        jobs: completed,
+        wall,
+        jobs_per_sec: completed as f64 / wall.as_secs_f64(),
+        queue_wait_p50: percentile(&waits, 50.0),
+        queue_wait_p99: percentile(&waits, 99.0),
+        exclusive_fraction: exclusive as f64 / completed.max(1) as f64,
+        fork_total,
+        fork_sum,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Injected faults panic on purpose and in volume; keep the default
+    // hook's backtraces for *unexpected* panics only.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.starts_with("injected fault"))
+            .unwrap_or(false);
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    let (diff_jobs, diff_rounds, sat_window, sat_capacity, tput_jobs) = if smoke {
+        (48u64, 1u64, Duration::from_millis(150), 12usize, 60u64)
+    } else {
+        (160, 3, Duration::from_millis(1000), 24, 400)
+    };
+    println!(
+        "E18: lopram-serve under seeded traffic — {TENANTS} tenants, shared 2-processor pool\n"
+    );
+
+    // ---- Phase 1: differential fault injection -------------------------
+    let mut diffs = Vec::new();
+    for round in 0..diff_rounds {
+        let diff = run_differential(0xE18_0003 + round, diff_jobs, 0.35);
+        println!(
+            "differential round {round}: {} jobs, {} faulted ({} panic / {} cancel / {} deadline), \
+             {} digest mismatches, {} wrong failure modes",
+            diff.jobs,
+            diff.faulted,
+            diff.panicked,
+            diff.cancelled,
+            diff.deadline_exceeded,
+            diff.mismatches,
+            diff.wrong_failure_modes,
+        );
+        assert_eq!(
+            diff.mismatches, 0,
+            "a faulted neighbour perturbed a clean job"
+        );
+        assert_eq!(
+            diff.wrong_failure_modes, 0,
+            "a fault fired with the wrong mode"
+        );
+        assert!(diff.faulted > 0, "seeded plan must fault some jobs");
+        diffs.push(diff);
+    }
+    // Across the rounds, every failure mode must actually have fired.
+    assert!(
+        diffs.iter().map(|d| d.panicked).sum::<u64>() > 0,
+        "no panic fault fired"
+    );
+    assert!(
+        diffs.iter().map(|d| d.cancelled).sum::<u64>() > 0,
+        "no cancel fault fired"
+    );
+    assert!(
+        diffs.iter().map(|d| d.deadline_exceeded).sum::<u64>() > 0,
+        "no deadline fault fired"
+    );
+
+    // ---- Phase 2: sustained saturation ---------------------------------
+    let sat = run_saturation(0xE18_5A7, sat_window, sat_capacity);
+    println!(
+        "\nsaturation ({} ms window): offered {}, admitted {}, rejected {}, \
+         queue peak {}/{}, per-tenant completed {:?}, fairness {:.3}",
+        sat_window.as_millis(),
+        sat.offered,
+        sat.admitted,
+        sat.rejected_local,
+        sat.queue_peak,
+        sat.queue_capacity,
+        sat.per_tenant_completed,
+        sat.fairness_ratio,
+    );
+    assert!(
+        sat.rejected_local > 0,
+        "the burst must overflow the bounded queue"
+    );
+    assert_eq!(
+        sat.admitted + sat.rejected_local,
+        sat.offered,
+        "every submission either admitted or rejected"
+    );
+    assert!(sat.queue_peak <= sat.queue_capacity, "queue bound held");
+    assert_eq!(
+        sat.queue_peak, sat.queue_capacity,
+        "a sustained flood must fill the bounded queue"
+    );
+    assert!(
+        sat.per_tenant_completed.iter().all(|&c| c > 0),
+        "no tenant may starve: {:?}",
+        sat.per_tenant_completed
+    );
+    assert!(
+        sat.fairness_ratio <= 3.0,
+        "fairness ratio {:.3} above the 3.0 gate",
+        sat.fairness_ratio
+    );
+
+    // ---- Phase 3: exclusive throughput ---------------------------------
+    let tput = run_throughput(0xE18_791, tput_jobs);
+    println!(
+        "\nthroughput: {} jobs in {:.1} ms — {:.0} jobs/s, queue wait p50 {:?} p99 {:?}, \
+         exclusive {:.0}%, forks {} (sum of per-job reports {})",
+        tput.jobs,
+        tput.wall.as_secs_f64() * 1e3,
+        tput.jobs_per_sec,
+        tput.queue_wait_p50,
+        tput.queue_wait_p99,
+        tput.exclusive_fraction * 100.0,
+        tput.fork_total,
+        tput.fork_sum,
+    );
+    assert_eq!(
+        tput.exclusive_fraction, 1.0,
+        "one executor must make every job's metrics exclusive"
+    );
+    assert_eq!(
+        tput.fork_sum, tput.fork_total,
+        "per-job fork accounting must conserve the pool's aggregate forks"
+    );
+
+    println!(
+        "\nReading: non-faulted digests are bit-identical between faulted and fault-free\n\
+         runs (isolation), the bounded queue rejects the overflow instead of buffering\n\
+         it (backpressure), no tenant starves (round-robin + budgets), and per-job fork\n\
+         counts sum exactly to the pool's aggregate (exact attribution)."
+    );
+
+    // ---- JSON baseline -------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"serve\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"tenants\": {TENANTS},\n"));
+    json.push_str("  \"differential\": [\n");
+    for (i, d) in diffs.iter().enumerate() {
+        let comma = if i + 1 == diffs.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"jobs\": {}, \"faulted\": {}, \"panicked\": {}, \"cancelled\": {}, \
+             \"deadline_exceeded\": {}, \"mismatches\": {}, \"wrong_failure_modes\": {}}}{comma}\n",
+            d.jobs,
+            d.faulted,
+            d.panicked,
+            d.cancelled,
+            d.deadline_exceeded,
+            d.mismatches,
+            d.wrong_failure_modes,
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"saturation\": {{\"offered\": {}, \"admitted\": {}, \"rejected\": {}, \
+         \"rejection_rate\": {:.4}, \"queue_capacity\": {}, \"queue_peak\": {}, \
+         \"fairness_ratio\": {:.4}, \"per_tenant_completed\": {:?}}},\n",
+        sat.offered,
+        sat.admitted,
+        sat.rejected_local,
+        sat.rejected_local as f64 / sat.offered as f64,
+        sat.queue_capacity,
+        sat.queue_peak,
+        sat.fairness_ratio,
+        sat.per_tenant_completed,
+    ));
+    json.push_str(&format!(
+        "  \"throughput\": {{\"jobs\": {}, \"wall_ms\": {:.2}, \"jobs_per_sec\": {:.1}, \
+         \"queue_wait_p50_us\": {:.1}, \"queue_wait_p99_us\": {:.1}, \
+         \"exclusive_fraction\": {:.4}, \"fork_total\": {}, \"fork_sum\": {}}}\n",
+        tput.jobs,
+        tput.wall.as_secs_f64() * 1e3,
+        tput.jobs_per_sec,
+        tput.queue_wait_p50.as_secs_f64() * 1e6,
+        tput.queue_wait_p99.as_secs_f64() * 1e6,
+        tput.exclusive_fraction,
+        tput.fork_total,
+        tput.fork_sum,
+    ));
+    json.push_str("}\n");
+
+    // Smoke runs write to their own (gitignored) file: the committed
+    // BENCH_serve.json is the full-size baseline.
+    let default_out = if smoke {
+        "BENCH_serve.smoke.json"
+    } else {
+        "BENCH_serve.json"
+    };
+    let out = std::env::var("LOPRAM_BENCH_OUT").unwrap_or_else(|_| default_out.to_string());
+    std::fs::write(&out, &json).expect("write benchmark baseline");
+    println!("\nwrote {out}");
+
+    if smoke {
+        println!(
+            "smoke: OK (differential clean, backpressure bounded, fairness {:.3} <= 3.0, \
+             fork accounting conserved)",
+            sat.fairness_ratio
+        );
+    }
+}

@@ -25,9 +25,12 @@
 //! | `bench_primitive_overhead` | E15: steady-state primitive cost — ns/element and allocs/call for scan/pack/BFS-level, unfused allocation-per-call twins vs the fused arena-backed production path; emits `BENCH_primitive_overhead.json` (`--smoke` asserts the ≥2× per-level allocation gate) |
 //! | `bench_trace_replay`   | E16: trace capture + deterministic replay — BFS traces captured at p ∈ {1, 2, 4} replayed across every (p, grain) via `lopram_sim::TraceReplay`; emits `BENCH_trace_replay.json` (`--smoke` asserts replay-predicted fork counts equal measured fork counts on every cell and p = 1 predictions are steal-free) |
 //! | `bench_partition_fuse` | E17: partition-and-fuse engine ablation — flat vs partitioned BFS/CC on a streamed-build `G(n, m)` and a grid, p ∈ {1, 2, 4} × parts ∈ {1, 2, 4}; emits `BENCH_partition_fuse.json` (`--smoke` asserts twin equality, exact per-phase fork closed forms, zero warmed arena growth, and ≤ 0.5 allocs/level for p = 1 partitioned BFS) |
+//! | `bench_serve`          | E18: multi-tenant job service under seeded traffic ([`traffic::TrafficPlan`]) — differential fault injection (faulted vs fault-free run, digest equality on every non-faulted job), saturation burst against the bounded queue, and an exclusive throughput phase with per-job fork conservation; emits `BENCH_serve.json` (`--smoke` gates zero differential mismatches, nonzero rejections with bounded depth, bounded tenant fairness ratio, and exact fork accounting) |
 //!
 //! This crate is an internal tool (`publish = false`); its library half holds
 //! the shared measurement and pretty-printing helpers.
+
+pub mod traffic;
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -1,0 +1,304 @@
+//! Deterministic many-client traffic for the `lopram-serve` job
+//! service (experiment E18).
+//!
+//! A [`TrafficPlan`] is a seeded job mix over `n` tenants:
+//!
+//! * **small scans** below the fork grain (zero forks — pure service
+//!   overhead);
+//! * **D&C mergesorts** (the paper's flagship divide-and-conquer
+//!   workload);
+//! * **heavy graph jobs** — BFS and connected components on one shared
+//!   `Arc`'d CSR graph;
+//! * **hostile jobs** — bounded compute loops polling
+//!   [`JobContext::step`](lopram_serve::JobContext::step) every
+//!   iteration, the cooperative hook a
+//!   [`FaultPlan`] fires panics, cancels and
+//!   deadline stalls through.
+//!
+//! Every job body starts with a fixed stepping prologue longer than the
+//! largest seeded fault step, so **any** job index can be faulted and
+//! the fault is guaranteed to land.  Every job's digest is a pure
+//! function of its submission index ([`TrafficPlan::expected`]), which
+//! is what makes the differential fault check possible: run the same
+//! plan with and without faults and every non-faulted job must produce
+//! the identical digest.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lopram_dnc::mergesort::merge_sort;
+use lopram_graph::bfs::{bfs_par, bfs_seq};
+use lopram_graph::cc::{components_hook, components_seq};
+use lopram_graph::gen;
+use lopram_graph::CsrGraph;
+use lopram_serve::{Fault, FaultPlan, JobSpec};
+use rand::{Rng, SeedableRng};
+
+/// Steps every job body performs before its real work — strictly more
+/// than the largest `at_step` [`FaultPlan::seeded`] draws (16), so a
+/// seeded fault always fires.
+pub const TRAFFIC_STEPS: u64 = 20;
+
+/// Deadline given to jobs the fault plan deadline-faults: long enough
+/// that a healthy job never trips it, short enough that the injected
+/// stall resolves quickly.
+pub const FAULTED_DEADLINE: Duration = Duration::from_millis(100);
+
+/// The job families in the mix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobKind {
+    /// A scan below the fork grain: zero forks, measures pure service
+    /// overhead.
+    SmallScan,
+    /// A pal-thread mergesort of a seeded vector.
+    Sort,
+    /// Level-synchronous BFS on the shared graph.
+    Bfs,
+    /// Connected components (tree hooking) on the shared graph.
+    Components,
+    /// A bounded compute loop polling `cx.step()` every iteration —
+    /// the natural fault-injection target.
+    Hostile,
+}
+
+/// One planned job: its family, tenant, and per-job salt.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficJob {
+    /// Which family the job belongs to.
+    pub kind: JobKind,
+    /// The submitting tenant, in `0..tenants`.
+    pub tenant: usize,
+    /// Per-job parameter seed (input sizes and contents derive from it).
+    pub salt: u64,
+}
+
+/// A seeded, fully deterministic traffic mix.  Equal seeds give equal
+/// plans, equal job bodies and equal expected digests.
+pub struct TrafficPlan {
+    jobs: Vec<TrafficJob>,
+    graph: Arc<CsrGraph>,
+    bfs_digest: u64,
+    cc_digest: u64,
+}
+
+/// FNV-style fold of a `u64` stream into one digest word.
+fn fold_digest(values: impl IntoIterator<Item = u64>) -> u64 {
+    values.into_iter().fold(0xcbf2_9ce4_8422_2325, |h, v| {
+        (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// The hostile job's pure compute kernel: what the digest is without
+/// the interleaved `cx.step()` polls.
+fn hostile_digest(salt: u64, iters: u64) -> u64 {
+    let mut acc = salt | 1;
+    for i in 0..iters {
+        acc = acc.rotate_left(9).wrapping_mul(0x2545_F491_4F6C_DD1D) ^ i;
+    }
+    acc
+}
+
+fn small_scan_input(salt: u64) -> Vec<u64> {
+    let len = 8 + (salt % 24) as usize;
+    (0..len as u64).map(|j| j.wrapping_mul(salt | 1)).collect()
+}
+
+fn sort_input(salt: u64) -> Vec<u64> {
+    let len = 512 + (salt % 512) as usize;
+    let mut x = salt;
+    (0..len)
+        .map(|_| {
+            // SplitMix64 step: decorrelates adjacent salts.
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+const HOSTILE_ITERS: u64 = 256;
+
+impl TrafficPlan {
+    /// Build a plan of `jobs` jobs over `tenants` tenants from `seed`.
+    /// The mix: ~35% small scans, ~20% sorts, ~15% BFS, ~15%
+    /// components, ~15% hostile.  The shared graph and both graph
+    /// digests are derived from the same seed.
+    pub fn seeded(seed: u64, jobs: u64, tenants: usize) -> Self {
+        assert!(tenants >= 1, "need at least one tenant");
+        let graph = Arc::new(gen::gnm(1500, 4500, seed ^ 0x5EED_06AF));
+        let bfs_digest = fold_digest(bfs_seq(&graph, 0).iter().map(|&d| d as u64));
+        let cc_digest = fold_digest(components_seq(&graph).iter().map(|&c| c as u64));
+        let mut rng = rand::StdRng::seed_from_u64(seed);
+        let jobs = (0..jobs)
+            .map(|_| {
+                let roll: u32 = rng.gen_range(0..100u32);
+                let kind = match roll {
+                    0..=34 => JobKind::SmallScan,
+                    35..=54 => JobKind::Sort,
+                    55..=69 => JobKind::Bfs,
+                    70..=84 => JobKind::Components,
+                    _ => JobKind::Hostile,
+                };
+                let tenant = rng.gen_range(0..tenants as u64) as usize;
+                let salt = rng.gen_range(1..u64::MAX);
+                TrafficJob { kind, tenant, salt }
+            })
+            .collect();
+        TrafficPlan {
+            jobs,
+            graph,
+            bfs_digest,
+            cc_digest,
+        }
+    }
+
+    /// Number of jobs in the plan.
+    pub fn len(&self) -> u64 {
+        self.jobs.len() as u64
+    }
+
+    /// Whether the plan holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The planned job at submission index `i`.
+    pub fn job(&self, i: u64) -> TrafficJob {
+        self.jobs[i as usize]
+    }
+
+    /// Count of jobs per family `[scan, sort, bfs, cc, hostile]`.
+    pub fn kind_counts(&self) -> [usize; 5] {
+        let mut counts = [0usize; 5];
+        for job in &self.jobs {
+            counts[match job.kind {
+                JobKind::SmallScan => 0,
+                JobKind::Sort => 1,
+                JobKind::Bfs => 2,
+                JobKind::Components => 3,
+                JobKind::Hostile => 4,
+            }] += 1;
+        }
+        counts
+    }
+
+    /// Build the [`JobSpec`] for submission index `i` under `faults`.
+    /// Jobs the plan deadline-faults get [`FAULTED_DEADLINE`] so the
+    /// injected stall has a deadline to blow; everything else runs
+    /// undeadlined.  The body is deterministic: stepping prologue, then
+    /// the family workload, digesting to [`expected`](Self::expected).
+    pub fn spec(&self, i: u64, faults: &FaultPlan) -> JobSpec {
+        let TrafficJob { kind, tenant, salt } = self.job(i);
+        let graph = Arc::clone(&self.graph);
+        let mut spec = JobSpec::new(tenant, move |cx| {
+            for _ in 0..TRAFFIC_STEPS {
+                cx.step();
+            }
+            match kind {
+                JobKind::SmallScan => {
+                    let data = small_scan_input(salt);
+                    cx.pool().scan(&data, 0u64, |a, b| a.wrapping_add(*b)).total
+                }
+                JobKind::Sort => {
+                    let mut data = sort_input(salt);
+                    merge_sort(cx.pool(), &mut data);
+                    fold_digest(data)
+                }
+                JobKind::Bfs => {
+                    let dist = bfs_par(&graph, cx.pool(), 0);
+                    fold_digest(dist.iter().map(|&d| d as u64)) ^ salt
+                }
+                JobKind::Components => {
+                    let labels = components_hook(&graph, cx.pool());
+                    fold_digest(labels.iter().map(|&c| c as u64)) ^ salt
+                }
+                JobKind::Hostile => {
+                    let mut acc = salt | 1;
+                    for i in 0..HOSTILE_ITERS {
+                        cx.step();
+                        acc = acc.rotate_left(9).wrapping_mul(0x2545_F491_4F6C_DD1D) ^ i;
+                    }
+                    acc
+                }
+            }
+        });
+        if let Some(Fault::Deadline { .. }) = faults.fault_for(i) {
+            spec = spec.deadline(FAULTED_DEADLINE);
+        }
+        spec
+    }
+
+    /// The digest a non-faulted run of job `i` must produce — computed
+    /// sequentially, without the service or the pool.
+    pub fn expected(&self, i: u64) -> u64 {
+        let TrafficJob { kind, salt, .. } = self.job(i);
+        match kind {
+            JobKind::SmallScan => small_scan_input(salt)
+                .iter()
+                .fold(0u64, |a, b| a.wrapping_add(*b)),
+            JobKind::Sort => {
+                let mut data = sort_input(salt);
+                data.sort_unstable();
+                fold_digest(data)
+            }
+            JobKind::Bfs => self.bfs_digest ^ salt,
+            JobKind::Components => self.cc_digest ^ salt,
+            JobKind::Hostile => hostile_digest(salt, HOSTILE_ITERS),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lopram_serve::{JobService, ServeConfig};
+
+    #[test]
+    fn plans_are_seed_deterministic() {
+        let a = TrafficPlan::seeded(11, 64, 3);
+        let b = TrafficPlan::seeded(11, 64, 3);
+        for i in 0..a.len() {
+            assert_eq!(a.job(i).kind, b.job(i).kind);
+            assert_eq!(a.job(i).tenant, b.job(i).tenant);
+            assert_eq!(a.job(i).salt, b.job(i).salt);
+            assert_eq!(a.expected(i), b.expected(i));
+        }
+        let counts = a.kind_counts();
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "64 jobs hit every family: {counts:?}"
+        );
+        assert!(
+            (0..a.len()).any(|i| a.job(i).tenant == 2),
+            "all tenants drawn"
+        );
+    }
+
+    #[test]
+    fn every_family_digests_to_expected_through_the_service() {
+        let plan = TrafficPlan::seeded(7, 24, 2);
+        let service = JobService::start(ServeConfig {
+            tenants: 2,
+            // Generous: the seeded tenant draw is uneven, and the
+            // per-tenant admission quota is capacity / tenants.
+            queue_capacity: 64,
+            processors: 2,
+            ..ServeConfig::default()
+        });
+        let none = FaultPlan::none();
+        let tickets: Vec<_> = (0..plan.len())
+            .map(|i| service.submit(plan.spec(i, &none)).unwrap())
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            assert_eq!(
+                ticket.wait().outcome,
+                Ok(plan.expected(i as u64)),
+                "job {i} ({:?})",
+                plan.job(i as u64).kind
+            );
+        }
+        service.shutdown();
+    }
+}

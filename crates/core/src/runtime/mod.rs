@@ -42,6 +42,7 @@
 //! tree (the one that reproduces Figure 1 literally) is in the `lopram-sim`
 //! crate.
 
+pub mod cancel;
 mod pool;
 mod primitives;
 mod throttled;
@@ -49,9 +50,10 @@ mod tokens;
 pub mod trace;
 mod workspace;
 
+pub use cancel::{run_cancellable, CancelReason, CancelToken};
 pub use pool::{PalPool, PalPoolBuilder, PalScope};
 pub use primitives::Scan;
 pub use throttled::{ThrottledPool, ThrottledPoolBuilder, ThrottledScope};
-pub use tokens::ProcessorTokens;
+pub use tokens::{Permit, ProcessorTokens};
 pub use trace::{DagTrace, TraceConfig, TraceEvent, TraceSummary};
 pub use workspace::{Workspace, WorkspaceGuard, WorkspaceStats};

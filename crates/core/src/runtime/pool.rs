@@ -54,6 +54,7 @@ use std::ops::Range;
 
 use parking_lot::Mutex;
 
+use super::cancel;
 use super::trace::{self, DagTrace, TraceConfig, TraceEvent, TraceState};
 use super::workspace::Workspace;
 use crate::error::{Error, Result};
@@ -492,6 +493,13 @@ impl PalPool {
     /// them to a worker; the execution is sequential either way.  Panic
     /// semantics match the scheduled path: `b` runs even when `a`
     /// panicked, and `a`'s panic takes precedence.
+    ///
+    /// Every join is also a cancellation checkpoint
+    /// ([`cancel::checkpoint`]): inside a
+    /// [`run_cancellable`](cancel::run_cancellable) region with a fired
+    /// token, the fork unwinds instead of forking.  Scheduled children
+    /// carry the region's token with them, so a stolen subtree keeps
+    /// checkpointing against the right computation.
     pub fn join<RA, RB>(
         &self,
         a: impl FnOnce() -> RA + Send,
@@ -501,6 +509,7 @@ impl PalPool {
         RA: Send,
         RB: Send,
     {
+        cancel::checkpoint();
         let depth = current_depth(self.id);
         let elide = self.cutoff.is_some_and(|cutoff| depth >= cutoff);
         if let Some(trace) = &self.trace {
@@ -520,9 +529,16 @@ impl PalPool {
         }
         let child = depth + 1;
         let id = self.id;
+        // Scheduled children re-install the forking region's ambient
+        // token on whichever worker runs them — *always*, even a `None`:
+        // a help-first joining worker may execute an unrelated pending
+        // pal-thread mid-wait, which must not inherit this thread's
+        // token by accident.
+        let token = cancel::ambient();
+        let token_b = token.clone();
         self.pool.join(
-            move || with_depth(id, child, a),
-            move || with_depth(id, child, b),
+            move || cancel::with_ambient(token, || with_depth(id, child, a)),
+            move || cancel::with_ambient(token_b, || with_depth(id, child, b)),
         )
     }
 
@@ -579,53 +595,59 @@ impl PalPool {
                 (_, Err(payload)) => std::panic::resume_unwind(payload),
             };
         }
+        let token = cancel::ambient();
+        let token_b = token.clone();
         let ((ra, a_end), (rb, b_end)) = self.pool.join(
             move || {
-                with_task(id, child, left, ts, || {
-                    let slot = self.worker_slot();
-                    let w = worker_id(slot);
-                    trace.record(
-                        slot,
-                        TraceEvent::Enter {
-                            ts: tick_clock(id, 0),
-                            worker: w,
-                            node: left,
-                        },
-                    );
-                    let r = a();
-                    trace.record(
-                        slot,
-                        TraceEvent::Exit {
-                            ts: tick_clock(id, 0),
-                            worker: w,
-                            node: left,
-                        },
-                    );
-                    r
+                cancel::with_ambient(token, || {
+                    with_task(id, child, left, ts, || {
+                        let slot = self.worker_slot();
+                        let w = worker_id(slot);
+                        trace.record(
+                            slot,
+                            TraceEvent::Enter {
+                                ts: tick_clock(id, 0),
+                                worker: w,
+                                node: left,
+                            },
+                        );
+                        let r = a();
+                        trace.record(
+                            slot,
+                            TraceEvent::Exit {
+                                ts: tick_clock(id, 0),
+                                worker: w,
+                                node: left,
+                            },
+                        );
+                        r
+                    })
                 })
             },
             move || {
-                with_task(id, child, right, ts, || {
-                    let slot = self.worker_slot();
-                    let w = worker_id(slot);
-                    trace.record(
-                        slot,
-                        TraceEvent::Enter {
-                            ts: tick_clock(id, 0),
-                            worker: w,
-                            node: right,
-                        },
-                    );
-                    let r = b();
-                    trace.record(
-                        slot,
-                        TraceEvent::Exit {
-                            ts: tick_clock(id, 0),
-                            worker: w,
-                            node: right,
-                        },
-                    );
-                    r
+                cancel::with_ambient(token_b, || {
+                    with_task(id, child, right, ts, || {
+                        let slot = self.worker_slot();
+                        let w = worker_id(slot);
+                        trace.record(
+                            slot,
+                            TraceEvent::Enter {
+                                ts: tick_clock(id, 0),
+                                worker: w,
+                                node: right,
+                            },
+                        );
+                        let r = b();
+                        trace.record(
+                            slot,
+                            TraceEvent::Exit {
+                                ts: tick_clock(id, 0),
+                                worker: w,
+                                node: right,
+                            },
+                        );
+                        r
+                    })
                 })
             },
         );
@@ -844,6 +866,7 @@ impl<'scope, 'env> PalScope<'scope, 'env> {
     where
         F: FnOnce() + Send + 'env,
     {
+        cancel::checkpoint();
         let id = self.pool.id;
         let depth = current_depth(id);
         let elide = self.pool.cutoff.is_some_and(|cutoff| depth >= cutoff);
@@ -856,7 +879,11 @@ impl<'scope, 'env> PalScope<'scope, 'env> {
             return;
         }
         let child = depth + 1;
-        self.scope.spawn(move |_| with_depth(id, child, f));
+        // Same ambient-token rule as the scheduled join children: the
+        // spawner's token (or its absence) travels with the pal-thread.
+        let token = cancel::ambient();
+        self.scope
+            .spawn(move |_| cancel::with_ambient(token, || with_depth(id, child, f)));
     }
 
     /// The recording twin of [`spawn`](PalScope::spawn): one `Spawn`
@@ -891,27 +918,30 @@ impl<'scope, 'env> PalScope<'scope, 'env> {
             merge_clock(id, end);
             return;
         }
+        let token = cancel::ambient();
         self.scope.spawn(move |_| {
-            with_task(id, child, node, ts, || {
-                let slot = pool.worker_slot();
-                let w = worker_id(slot);
-                trace.record(
-                    slot,
-                    TraceEvent::Enter {
-                        ts: tick_clock(id, 0),
-                        worker: w,
-                        node,
-                    },
-                );
-                f();
-                trace.record(
-                    slot,
-                    TraceEvent::Exit {
-                        ts: tick_clock(id, 0),
-                        worker: w,
-                        node,
-                    },
-                );
+            cancel::with_ambient(token, || {
+                with_task(id, child, node, ts, || {
+                    let slot = pool.worker_slot();
+                    let w = worker_id(slot);
+                    trace.record(
+                        slot,
+                        TraceEvent::Enter {
+                            ts: tick_clock(id, 0),
+                            worker: w,
+                            node,
+                        },
+                    );
+                    f();
+                    trace.record(
+                        slot,
+                        TraceEvent::Exit {
+                            ts: tick_clock(id, 0),
+                            worker: w,
+                            node,
+                        },
+                    );
+                });
             });
         });
     }

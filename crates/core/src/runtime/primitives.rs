@@ -583,6 +583,10 @@ impl PalPool {
             F: Fn(usize, &mut [T]) + Sync,
         {
             if count <= 1 {
+                // Chunk boundary: one cancellation checkpoint per block
+                // keeps a fired token's unwind latency at O(grain) even
+                // when the fork tree above was fully elided.
+                super::cancel::checkpoint();
                 f(first, data);
                 return;
             }
@@ -624,6 +628,8 @@ impl PalPool {
             F: Fn(usize, &mut [T]) + Sync,
         {
             if count <= 1 {
+                // Chunk boundary: see `blocked_balanced_mut`.
+                super::cancel::checkpoint();
                 f(first, data);
                 return;
             }

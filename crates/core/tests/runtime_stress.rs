@@ -7,8 +7,12 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
-use lopram_core::{assert_metrics_consistent, PalPool, ThrottledPool, TraceConfig};
+use lopram_core::{
+    assert_metrics_consistent, run_cancellable, CancelReason, CancelToken, PalPool, ThrottledPool,
+    TraceConfig,
+};
 
 fn repeat(default: usize) -> usize {
     std::env::var("LOPRAM_TEST_REPEAT")
@@ -336,6 +340,170 @@ fn repeated_trace_windows_do_not_grow_the_arena() {
         steady,
         "a steady-state traced scan + drain must not grow the arena"
     );
+}
+
+/// The service-boundary poisoning regression: after a *panicking job* —
+/// a whole computation unwinding out of the pool, primitives and arena
+/// buffers included — the pool and the workspace arena stay reusable
+/// with **zero arena growth** on the next warm call.  This is the
+/// property `lopram-serve` relies on to isolate a crashing tenant: the
+/// unwind must not leak checked-out buffers (which would force the next
+/// checkout to miss and grow) or wedge a worker.
+#[test]
+fn panicking_job_leaves_pool_and_arena_warm() {
+    let pool = PalPool::new(2).unwrap();
+    let input: Vec<u64> = (0..2048).collect();
+    let expected_total: u64 = input.iter().sum();
+    let mut scanned = Vec::new();
+    let mut packed = Vec::new();
+    // Warm every buffer the job mix touches.
+    pool.scan_copy_in(&input, 0u64, |a, b| a + b, &mut scanned);
+    pool.pack_in(&input, |_, x| x % 3 == 0, &mut packed);
+    let warm = pool.workspace().stats().grown_bytes;
+    for i in 0..repeat(100).div_ceil(2) {
+        // A "job": joins above, a primitive below, panicking mid-pass in
+        // a rotating block.
+        let bad = (i * 131) % 2048;
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.join(
+                || {
+                    pool.scan_copy_in(
+                        &input,
+                        0u64,
+                        |a, b| {
+                            assert!(b != bad as u64, "poisoned job element");
+                            a + b
+                        },
+                        &mut scanned,
+                    )
+                },
+                || fib(&pool, 6),
+            )
+        }));
+        assert!(result.is_err(), "iteration {i}: panic must propagate");
+        // Next warm call: exact results, zero arena growth.
+        let total = pool.scan_copy_in(&input, 0u64, |a, b| a + b, &mut scanned);
+        assert_eq!(total, expected_total, "iteration {i}");
+        pool.pack_in(&input, |_, x| x % 3 == 0, &mut packed);
+        assert_eq!(packed.len(), 683, "iteration {i}");
+        assert_eq!(
+            pool.workspace().stats().grown_bytes,
+            warm,
+            "iteration {i}: a panicking job must not grow the arena"
+        );
+    }
+}
+
+/// Cancellation unwinds through fork boundaries and chunk boundaries,
+/// across schedules: a token fired mid-computation stops the job with
+/// `Err(Cancelled)` — never a panic, never a wedged pool — and the next
+/// warm call over the same pool stays allocation-free and exact.
+#[test]
+fn cancellation_unwind_leaves_pool_and_arena_warm() {
+    let pool = PalPool::new(2).unwrap();
+    let input: Vec<u64> = (0..2048).collect();
+    let expected_total: u64 = input.iter().sum();
+    let mut scanned = Vec::new();
+    pool.scan_copy_in(&input, 0u64, |a, b| a + b, &mut scanned);
+    let warm = pool.workspace().stats().grown_bytes;
+    for i in 0..repeat(100).div_ceil(2) {
+        let token = CancelToken::new();
+        let fire_at = (i * 131) % 2048;
+        let inner = token.clone();
+        let result = run_cancellable(&token, || {
+            pool.scan_copy_in(
+                &input,
+                0u64,
+                |a, b| {
+                    if b == fire_at as u64 {
+                        // Client "hangs up" mid-scan; the next checkpoint
+                        // (fork or chunk boundary) observes it.
+                        inner.cancel();
+                    }
+                    a + b
+                },
+                &mut scanned,
+            )
+        });
+        assert_eq!(
+            result,
+            Err(CancelReason::Cancelled),
+            "iteration {i}: cancel must surface as Err, not a panic"
+        );
+        let total = pool.scan_copy_in(&input, 0u64, |a, b| a + b, &mut scanned);
+        assert_eq!(total, expected_total, "iteration {i}");
+        assert_eq!(
+            pool.workspace().stats().grown_bytes,
+            warm,
+            "iteration {i}: a cancelled job must not grow the arena"
+        );
+    }
+}
+
+/// A token that is cancelled while *another* computation shares the pool:
+/// the unrelated computation must never observe the foreign token (the
+/// ambient token travels with scheduled pal-threads, it is not a property
+/// of the worker), so its results stay exact while the cancellable job
+/// unwinds.
+#[test]
+fn cancelled_job_does_not_perturb_a_concurrent_job() {
+    let pool = PalPool::new(2).unwrap();
+    let input: Vec<u64> = (0..2048).collect();
+    let expected_total: u64 = input.iter().sum();
+    std::thread::scope(|s| {
+        let pool = &pool;
+        let input = &input;
+        // Victim thread: plain, un-cancellable scans — every one exact.
+        s.spawn(move || {
+            for i in 0..repeat(100).div_ceil(2) {
+                let scan = pool.scan_copy(input, 0u64, |a, b| a + b);
+                assert_eq!(scan.total, expected_total, "victim iteration {i}");
+            }
+        });
+        // Hostile thread: cancellable scans whose token fires mid-pass.
+        for i in 0..repeat(100).div_ceil(2) {
+            let token = CancelToken::new();
+            let inner = token.clone();
+            let fire_at = (i * 197) % 2048;
+            let result = run_cancellable(&token, || {
+                pool.scan_copy(input, 0u64, |a, b| {
+                    if b == fire_at as u64 {
+                        inner.cancel();
+                    }
+                    a + b
+                })
+            });
+            assert_eq!(
+                result,
+                Err(CancelReason::Cancelled),
+                "hostile iteration {i}"
+            );
+        }
+    });
+    let m = pool.metrics();
+    assert!(m.steals() <= m.spawned());
+}
+
+/// Deadline-carrying tokens self-fire through the strided checkpoint
+/// clock: a job that overruns its deadline stops with `DeadlineExceeded`
+/// in bounded work, and an identical job with a generous deadline
+/// completes exactly.
+#[test]
+fn deadline_blown_job_stops_and_generous_deadline_completes() {
+    let pool = PalPool::new(2).unwrap();
+    let input: Vec<u64> = (0..2048).collect();
+    let expected_total: u64 = input.iter().sum();
+    for i in 0..repeat(100).div_ceil(4) {
+        // Already-expired deadline: the entry poll alone must stop it.
+        let expired = CancelToken::with_deadline(Duration::ZERO);
+        let result = run_cancellable(&expired, || pool.scan_copy(&input, 0u64, |a, b| a + b));
+        assert_eq!(result, Err(CancelReason::DeadlineExceeded), "iteration {i}");
+
+        // A deadline the job cannot plausibly blow: completes exactly.
+        let generous = CancelToken::with_deadline(Duration::from_secs(3600));
+        let result = run_cancellable(&generous, || pool.scan_copy(&input, 0u64, |a, b| a + b));
+        assert_eq!(result.map(|s| s.total), Ok(expected_total), "iteration {i}");
+    }
 }
 
 /// Both runtimes agree with the sequential result under repeated

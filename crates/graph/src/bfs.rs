@@ -23,7 +23,8 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use lopram_core::PalPool;
+use lopram_core::runtime::cancel;
+use lopram_core::{run_cancellable, CancelReason, CancelToken, PalPool};
 
 use crate::csr::CsrGraph;
 use crate::fuse::{fuse, FusionNode};
@@ -87,6 +88,11 @@ pub fn bfs_par(graph: &CsrGraph, pool: &PalPool, src: usize) -> Vec<usize> {
     frontier.push(src);
     let mut level = 0usize;
     while !frontier.is_empty() {
+        // Level boundary: the natural sequential point of the kernel.
+        // Inside a cancellable region ([`bfs_cancellable`]) a fired token
+        // stops the search here at the latest — the primitives below
+        // checkpoint at their own fork and chunk boundaries too.
+        cancel::checkpoint();
         level += 1;
         let frontier_ref: &[usize] = &frontier;
         let dist_ref: &[AtomicUsize] = &dist;
@@ -114,6 +120,32 @@ pub fn bfs_par(graph: &CsrGraph, pool: &PalPool, src: usize) -> Vec<usize> {
         std::mem::swap(&mut frontier, &mut next);
     }
     dist.iter().map(|d| d.load(Ordering::Relaxed)).collect()
+}
+
+/// Cancellable entry point for [`bfs_par`]: runs the search under
+/// `token` and reports how it ended.
+///
+/// `Ok(distances)` when the search completes; `Err(reason)` when the
+/// token fires first — [`CancelReason::Cancelled`] on an explicit
+/// [`CancelToken::cancel`], [`CancelReason::DeadlineExceeded`] on a blown
+/// deadline.  Cancellation is cooperative and prompt: the kernel
+/// checkpoints at every level boundary and (through the primitives) at
+/// every fork and chunk boundary, so a fired token unwinds in O(grain)
+/// work.  The unwind releases every arena buffer the search had checked
+/// out — the pool stays warm and fully reusable, which is what the
+/// `lopram-serve` job service relies on when a client abandons a graph
+/// job mid-flight.
+///
+/// # Panics
+///
+/// Panics if `src` is not a vertex of `graph`.
+pub fn bfs_cancellable(
+    graph: &CsrGraph,
+    pool: &PalPool,
+    src: usize,
+    token: &CancelToken,
+) -> Result<Vec<usize>, CancelReason> {
+    run_cancellable(token, || bfs_par(graph, pool, src))
 }
 
 /// Per-partition level state of the partitioned BFS: the current and the

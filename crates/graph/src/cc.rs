@@ -14,7 +14,8 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use lopram_core::PalPool;
+use lopram_core::runtime::cancel;
+use lopram_core::{run_cancellable, CancelReason, CancelToken, PalPool};
 
 use crate::csr::CsrGraph;
 use crate::fuse::{fuse, FusionNode};
@@ -58,6 +59,9 @@ pub fn components_label_prop(graph: &CsrGraph, pool: &PalPool) -> Vec<usize> {
     labels.extend((0..n).map(AtomicUsize::new));
     let labels: &[AtomicUsize] = &labels;
     loop {
+        // Round boundary: a fired ambient token stops the propagation
+        // here at the latest (see [`components_cancellable`]).
+        cancel::checkpoint();
         let changed = AtomicBool::new(false);
         pool.for_each_index(0..n, |u| {
             let mut best = labels[u].load(Ordering::Relaxed);
@@ -101,6 +105,9 @@ pub fn components_hook(graph: &CsrGraph, pool: &PalPool) -> Vec<usize> {
     parent.extend((0..n).map(AtomicUsize::new));
     let parent: &[AtomicUsize] = &parent;
     loop {
+        // Round boundary: a fired ambient token stops the hooking here at
+        // the latest (see [`components_cancellable`]).
+        cancel::checkpoint();
         // Hook: merge the two trees of every cross-tree edge, smaller root
         // winning.
         let hooked = AtomicBool::new(false);
@@ -141,6 +148,23 @@ pub fn components_hook(graph: &CsrGraph, pool: &PalPool) -> Vec<usize> {
             return parent.iter().map(|p| p.load(Ordering::Relaxed)).collect();
         }
     }
+}
+
+/// Cancellable entry point for [`components_hook`]: runs the hooking
+/// under `token` and reports how it ended.
+///
+/// `Ok(labels)` when the fixpoint is reached; `Err(reason)` when the
+/// token fires first.  The kernel checkpoints at every hook round and —
+/// through the pool's fork boundaries — inside each round, so a fired
+/// token unwinds promptly and releases every arena buffer it held; the
+/// pool stays warm for the next caller (the contract the `lopram-serve`
+/// job service builds on).
+pub fn components_cancellable(
+    graph: &CsrGraph,
+    pool: &PalPool,
+    token: &CancelToken,
+) -> Result<Vec<usize>, CancelReason> {
+    run_cancellable(token, || components_hook(graph, pool))
 }
 
 /// Find the root of `v` in a plain union-find forest over the exclusive

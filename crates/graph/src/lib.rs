@@ -56,10 +56,10 @@ pub use csr::CsrGraph;
 
 /// Convenience prelude re-exporting the items most users need.
 pub mod prelude {
-    pub use crate::bfs::{bfs_par, bfs_partitioned, bfs_seq, levels, UNREACHED};
+    pub use crate::bfs::{bfs_cancellable, bfs_par, bfs_partitioned, bfs_seq, levels, UNREACHED};
     pub use crate::cc::{
-        component_count, components_hook, components_label_prop, components_partitioned,
-        components_seq,
+        component_count, components_cancellable, components_hook, components_label_prop,
+        components_partitioned, components_seq,
     };
     pub use crate::csr::CsrGraph;
     pub use crate::fuse::{fuse, FusionNode};

@@ -1,0 +1,140 @@
+//! Cancellable graph kernels: the cooperative-cancellation contract the
+//! `lopram-serve` job service relies on, checked at the kernel level.
+//!
+//! Three properties per kernel: a live token changes nothing (identical
+//! output to the sequential twin), a fired token stops the kernel with
+//! the right [`CancelReason`], and the unwind leaves the shared pool's
+//! workspace arena warm — the next caller sees zero growth and exact
+//! results.
+
+use std::time::Duration;
+
+use lopram_core::{CancelReason, CancelToken, PalPool};
+use lopram_graph::bfs::{bfs_cancellable, bfs_seq};
+use lopram_graph::cc::{components_cancellable, components_seq};
+use lopram_graph::gen;
+
+#[test]
+fn live_token_changes_nothing() {
+    let g = gen::gnm(400, 1200, 17);
+    for p in [1, 2, 4] {
+        let pool = PalPool::new(p).unwrap();
+        let token = CancelToken::new();
+        assert_eq!(
+            bfs_cancellable(&g, &pool, 0, &token).as_deref(),
+            Ok(bfs_seq(&g, 0).as_slice()),
+            "p = {p}"
+        );
+        assert_eq!(
+            components_cancellable(&g, &pool, &token).as_deref(),
+            Ok(components_seq(&g).as_slice()),
+            "p = {p}"
+        );
+        assert_eq!(token.fired(), None);
+    }
+}
+
+#[test]
+fn fired_token_stops_both_kernels() {
+    let g = gen::grid(20, 20);
+    let pool = PalPool::new(2).unwrap();
+
+    let cancelled = CancelToken::new();
+    cancelled.cancel();
+    assert_eq!(
+        bfs_cancellable(&g, &pool, 0, &cancelled),
+        Err(CancelReason::Cancelled)
+    );
+    assert_eq!(
+        components_cancellable(&g, &pool, &cancelled),
+        Err(CancelReason::Cancelled)
+    );
+
+    let expired = CancelToken::with_deadline(Duration::ZERO);
+    assert_eq!(
+        bfs_cancellable(&g, &pool, 0, &expired),
+        Err(CancelReason::DeadlineExceeded)
+    );
+    assert_eq!(
+        components_cancellable(&g, &pool, &expired),
+        Err(CancelReason::DeadlineExceeded)
+    );
+}
+
+#[test]
+fn cancelled_kernel_leaves_the_arena_warm() {
+    let g = gen::gnm(500, 1500, 23);
+    let pool = PalPool::new(2).unwrap();
+    let expected = bfs_seq(&g, 0);
+
+    // Warm every buffer the kernel mix touches.  Two rounds: the arena
+    // shelf is LIFO and BFS checks out several same-typed buffers whose
+    // roles (and hence required capacities) reshuffle across calls, so
+    // capacities only settle after the second pass.
+    let live = CancelToken::new();
+    for _ in 0..2 {
+        assert_eq!(bfs_cancellable(&g, &pool, 0, &live).as_ref(), Ok(&expected));
+        let labels = components_cancellable(&g, &pool, &live).unwrap();
+        assert_eq!(labels, components_seq(&g));
+    }
+    let warm = pool.workspace().stats().grown_bytes;
+
+    for i in 0..10 {
+        // A cancelled run must hand back every checked-out buffer…
+        let fired = CancelToken::new();
+        fired.cancel();
+        assert_eq!(
+            bfs_cancellable(&g, &pool, 0, &fired),
+            Err(CancelReason::Cancelled),
+            "iteration {i}"
+        );
+        assert_eq!(
+            components_cancellable(&g, &pool, &fired),
+            Err(CancelReason::Cancelled),
+            "iteration {i}"
+        );
+        // …so the next warm run neither grows the arena nor mislabels.
+        let live = CancelToken::new();
+        assert_eq!(
+            bfs_cancellable(&g, &pool, 0, &live).as_ref(),
+            Ok(&expected),
+            "iteration {i}"
+        );
+        assert_eq!(
+            pool.workspace().stats().grown_bytes,
+            warm,
+            "iteration {i}: a cancelled kernel must not grow the arena"
+        );
+    }
+}
+
+#[test]
+fn mid_flight_cancel_from_another_thread_stops_a_long_search() {
+    // A long path gives BFS one level per vertex: plenty of checkpoints
+    // for a token fired from outside to land on.
+    let g = gen::path(200_000);
+    let pool = PalPool::new(2).unwrap();
+    let token = CancelToken::new();
+    let canceller = token.clone();
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            std::thread::sleep(Duration::from_millis(2));
+            canceller.cancel();
+        });
+        let result = bfs_cancellable(&g, &pool, 0, &token);
+        // Either the search finished before the cancel landed (fast
+        // machine) or it stopped with Cancelled — never a panic, never a
+        // wrong answer.
+        match result {
+            Ok(dist) => assert_eq!(dist, bfs_seq(&g, 0)),
+            Err(reason) => assert_eq!(reason, CancelReason::Cancelled),
+        }
+    });
+    // The pool answers exactly afterwards either way.
+    let live = CancelToken::new();
+    let small = gen::grid(5, 5);
+    assert_eq!(
+        bfs_cancellable(&small, &pool, 0, &live).as_deref(),
+        Ok(bfs_seq(&small, 0).as_slice())
+    );
+}

@@ -19,7 +19,11 @@
 //!   scheduler, wavefront executor and parallel memoization (§4.2–4.6);
 //! * [`graph`] — irregular graph workloads (CSR graphs,
 //!   scan/pack-based frontier BFS, connected components, counting
-//!   kernels), each with a sequential twin for differential testing.
+//!   kernels), each with a sequential twin for differential testing;
+//! * [`serve`] — a fault-tolerant multi-tenant job service over one
+//!   shared pal-thread pool: bounded admission with backpressure,
+//!   per-tenant §3.1 token budgets, deadlines with cooperative
+//!   cancellation, and deterministic fault injection.
 //!
 //! The graph prelude is deliberately *not* folded into [`prelude`] — its
 //! short generator names (`path`, `star`, …) would collide too easily;
@@ -38,6 +42,7 @@ pub use lopram_core as core;
 pub use lopram_dnc as dnc;
 pub use lopram_dp as dp;
 pub use lopram_graph as graph;
+pub use lopram_serve as serve;
 pub use lopram_sim as sim;
 
 /// Convenience prelude pulling in the most commonly used items from every
