@@ -180,11 +180,29 @@ impl CancelToken {
     /// computation's entry/exit points use, where one `Instant::now()` is
     /// cheap relative to the work being bracketed.
     pub fn poll_now(&self) -> Option<CancelReason> {
+        if self.inner.deadline.is_some() {
+            self.poll_at(Instant::now())
+        } else {
+            self.fired()
+        }
+    }
+
+    /// [`poll_now`](CancelToken::poll_now) against a caller-supplied
+    /// clock reading: the deadline fires iff `now >= deadline`.
+    ///
+    /// This is the primitive for single-read dispatch paths: a caller
+    /// that must make several timing decisions about one event (queue
+    /// wait, deadline verdict, start stamp) takes **one** `Instant::now()`
+    /// and derives all of them from it, instead of racing a sequence of
+    /// clock reads against the deadline — where an earlier read can pass
+    /// the check while a later read is already past it (the
+    /// `lopram-serve` dispatch bug this replaced).
+    pub fn poll_at(&self, now: Instant) -> Option<CancelReason> {
         if let Some(reason) = self.fired() {
             return Some(reason);
         }
         if let Some(deadline) = self.inner.deadline {
-            if Instant::now() >= deadline {
+            if now >= deadline {
                 let _ = self.inner.fired.compare_exchange(
                     LIVE,
                     DEADLINE,

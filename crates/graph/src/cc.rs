@@ -1,5 +1,7 @@
 //! Connected components: parallel label propagation and tree hooking, with
-//! a sequential twin.
+//! a sequential twin.  (The work-efficient sampled union-find variant lives
+//! in [`uf`](crate::uf) — these round-synchronous kernels pay O(diameter)
+//! rounds and exist as its ablation baseline.)
 //!
 //! All three algorithms label every vertex with the **minimum vertex id of
 //! its component**, so differential tests can compare outputs directly —
@@ -54,14 +56,67 @@ pub fn components_seq(graph: &CsrGraph) -> Vec<usize> {
 /// point, so the algorithm converges to exactly [`components_seq`]'s
 /// labelling in at most *diameter* rounds, independent of the schedule.
 pub fn components_label_prop(graph: &CsrGraph, pool: &PalPool) -> Vec<usize> {
+    components_label_prop_rounds(graph, pool).0
+}
+
+/// [`components_label_prop`] also reporting the number of blocked rounds
+/// executed, **including** the final fixpoint-confirming round that
+/// observes no change (so a correct labelling at round one still costs
+/// two) — the work measure the `bench_cc_shootout` ablation records.
+/// The count is schedule-dependent — an in-chunk ascending scan can zip
+/// a label many hops within one round — but always lies in
+/// `[2, diameter + 1]` on non-empty graphs: fresh in-round reads only
+/// accelerate the guaranteed one-hop-per-round progress.
+///
+/// ## Memory-ordering proof (the `Relaxed`/`AcqRel` mix is deliberate)
+///
+/// The neighbour loads below are `Relaxed` on purpose; convergence does
+/// not depend on them being acquire loads:
+///
+/// * **Stale reads are harmless for safety.** Labels only ever decrease
+///   (`fetch_min`), so the worst a stale `Relaxed` load can do is return
+///   a *larger* historical value, which makes this round's `best` less
+///   tight — never wrong, since every value ever stored is some vertex id
+///   of the component.
+/// * **Stale reads are harmless for termination.** Each round ends at the
+///   `for_each_index` scope barrier: the runtime joins every pal-thread
+///   before the round returns, and that join synchronises-with the next
+///   round's spawns.  Everything round *t* stored — labels **and** the
+///   `changed` flag — therefore *happens-before* every load of round
+///   `t + 1`; within one round a vertex's own `fetch_min(AcqRel)` reads
+///   the latest value of its own cell.  So in the round after the last
+///   decrease, every `Relaxed` load observes final values, `best` equals
+///   the stored label everywhere, no `fetch_min` decreases anything, and
+///   the loop exits.
+/// * **`changed` cannot be missed.** The flag is set by the same
+///   pal-thread that performed the decrease, before that pal-thread
+///   finishes, and read only after the scope barrier — the barrier's
+///   happens-before edge makes the `Release`/`Acquire` pair on `changed`
+///   sufficient (even `Relaxed` would be ordered by the join; the
+///   stronger orderings document intent).
+/// * **Exit implies fixpoint.** The loop exits only after a full round
+///   in which no `fetch_min` decreased any cell *and* — by the barrier
+///   argument — every load in that round saw the latest values.  A
+///   no-decrease round over fresh values is precisely the fixpoint
+///   `labels[u] == min(labels[u], min over neighbours)`, i.e. constant
+///   labels per component; since labels start as vertex ids and only
+///   travel along edges, that constant is the component minimum.
+///
+/// The `LOPRAM_TEST_REPEAT`-scaled stress suite in
+/// `tests/cc_stress.rs` hammers exactly this argument: long-path
+/// convergence at `p = 4`, where a missed decrease or a premature exit
+/// would leave a label above its component minimum.
+pub fn components_label_prop_rounds(graph: &CsrGraph, pool: &PalPool) -> (Vec<usize>, usize) {
     let n = graph.vertices();
     let mut labels = pool.workspace().checkout::<AtomicUsize>();
     labels.extend((0..n).map(AtomicUsize::new));
     let labels: &[AtomicUsize] = &labels;
+    let mut rounds = 0;
     loop {
         // Round boundary: a fired ambient token stops the propagation
         // here at the latest (see [`components_cancellable`]).
         cancel::checkpoint();
+        rounds += 1;
         let changed = AtomicBool::new(false);
         pool.for_each_index(0..n, |u| {
             let mut best = labels[u].load(Ordering::Relaxed);
@@ -76,7 +131,10 @@ pub fn components_label_prop(graph: &CsrGraph, pool: &PalPool) -> Vec<usize> {
             break;
         }
     }
-    labels.iter().map(|l| l.load(Ordering::Relaxed)).collect()
+    (
+        labels.iter().map(|l| l.load(Ordering::Relaxed)).collect(),
+        rounds,
+    )
 }
 
 /// Follow `parent` pointers from `v` to the current root (the fixed point
@@ -100,14 +158,37 @@ fn chase(parent: &[AtomicUsize], mut v: usize) -> usize {
 /// Converges to the same minimum-id labelling as [`components_seq`]: the
 /// only root left per component is its minimum vertex id.
 pub fn components_hook(graph: &CsrGraph, pool: &PalPool) -> Vec<usize> {
+    components_hook_rounds(graph, pool).0
+}
+
+/// [`components_hook`] also reporting the number of hook rounds executed
+/// (each hook round may run several pointer-jump subrounds, which are not
+/// counted separately), **including** the final round that observes no
+/// cross-tree edge.
+///
+/// ## Memory-ordering note
+///
+/// Same structure as the [`components_label_prop_rounds`] proof: parents
+/// only ever decrease (`fetch_min(AcqRel)` hooks and jumps), each round
+/// ends at the `for_each_index` scope barrier whose join gives
+/// round-to-round happens-before, the `hooked`/`jumped` flags are set by
+/// the decreasing pal-thread itself before the barrier, and the chases
+/// use `Acquire` loads so a freshly-hooked parent's cell is fully
+/// visible before it is dereferenced as an index into the next chain
+/// link.  A stale read can only overstate a root (values decrease), so
+/// at worst a round performs a redundant `fetch_min` — never a wrong or
+/// lost hook — and the exit round's fresh values certify the fixpoint.
+pub fn components_hook_rounds(graph: &CsrGraph, pool: &PalPool) -> (Vec<usize>, usize) {
     let n = graph.vertices();
     let mut parent = pool.workspace().checkout::<AtomicUsize>();
     parent.extend((0..n).map(AtomicUsize::new));
     let parent: &[AtomicUsize] = &parent;
+    let mut rounds = 0;
     loop {
         // Round boundary: a fired ambient token stops the hooking here at
         // the latest (see [`components_cancellable`]).
         cancel::checkpoint();
+        rounds += 1;
         // Hook: merge the two trees of every cross-tree edge, smaller root
         // winning.
         let hooked = AtomicBool::new(false);
@@ -145,7 +226,10 @@ pub fn components_hook(graph: &CsrGraph, pool: &PalPool) -> Vec<usize> {
         }
 
         if !hooked.load(Ordering::Acquire) {
-            return parent.iter().map(|p| p.load(Ordering::Relaxed)).collect();
+            return (
+                parent.iter().map(|p| p.load(Ordering::Relaxed)).collect(),
+                rounds,
+            );
         }
     }
 }

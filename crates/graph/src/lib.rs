@@ -25,6 +25,10 @@
 //! * [`cc`] — connected components by parallel label propagation
 //!   ([`cc::components_label_prop`]) and tree hooking
 //!   ([`cc::components_hook`]), twin [`cc::components_seq`];
+//! * [`uf`] — work-efficient connected components by sampled concurrent
+//!   union-find ([`uf::components_union_find`]): CAS hooking, path
+//!   splitting, Afforest-style edge sampling — constant blocked passes
+//!   where the [`cc`] kernels pay O(diameter) rounds;
 //! * [`kernels`] — degree histogram (via
 //!   [`reduce_by_index`](lopram_core::PalPool::reduce_by_index)) and
 //!   ordered triangle count, with twins;
@@ -51,6 +55,7 @@ pub mod fuse;
 pub mod gen;
 pub mod kernels;
 pub mod partition;
+pub mod uf;
 
 pub use csr::CsrGraph;
 
@@ -63,9 +68,13 @@ pub mod prelude {
     };
     pub use crate::csr::CsrGraph;
     pub use crate::fuse::{fuse, FusionNode};
-    pub use crate::gen::{binary_tree, gnm, gnm_streamed, grid, path, star};
+    pub use crate::gen::{binary_tree, gnm, gnm_streamed, grid, path, path_permuted, star};
     pub use crate::kernels::{
         degree_histogram, degree_histogram_seq, triangle_count, triangle_count_seq,
     };
     pub use crate::partition::{plan_forks, PartitionPhases, PartitionPlan};
+    pub use crate::uf::{
+        components_union_find, components_union_find_cancellable, components_union_find_metered,
+        components_union_find_with, union_find_forks, UnionFindConfig, UnionFindPhases,
+    };
 }

@@ -1,0 +1,95 @@
+//! Convergence stress for the concurrent CC kernels' memory-ordering
+//! arguments (see the proof on
+//! [`components_label_prop_rounds`](lopram_graph::cc::components_label_prop_rounds)).
+//!
+//! A long path at `p = 4` is the adversarial shape: label propagation
+//! needs the full `n − 1` rounds, so a single missed decrease, a stale
+//! read treated as fresh at the fixpoint check, or a prematurely-observed
+//! `changed == false` leaves some label above its component minimum —
+//! and with one component of minimum 0, *any* nonzero label is an
+//! instant, loud failure.  `LOPRAM_TEST_REPEAT` scales the number of
+//! hammering iterations (CI's runtime-stress job sets 200).
+
+use lopram_core::PalPool;
+use lopram_graph::cc::{components_hook_rounds, components_label_prop_rounds, components_seq};
+use lopram_graph::prelude::*;
+
+/// Stress repeat count: `LOPRAM_TEST_REPEAT` if set, else a quick default.
+fn repeat() -> usize {
+    std::env::var("LOPRAM_TEST_REPEAT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+#[test]
+fn label_prop_converges_on_long_path_under_contention() {
+    let n = 257;
+    let g = path(n);
+    let expected = components_seq(&g);
+    let pool = PalPool::new(4).unwrap();
+    for round in 0..repeat() {
+        let (labels, rounds) = components_label_prop_rounds(&g, &pool);
+        assert_eq!(labels, expected, "label-prop diverged on iteration {round}");
+        // The round count is schedule-dependent (in-chunk scans can zip a
+        // label many hops within one round) but bounded: at least the
+        // decreasing round plus the fixpoint-confirming one, at most
+        // diameter + 1 — one guaranteed hop of progress per round.
+        assert!(
+            (2..=n).contains(&rounds),
+            "round count {rounds} out of bounds on iteration {round}"
+        );
+    }
+}
+
+#[test]
+fn label_prop_converges_on_permuted_path_under_contention() {
+    // Ids shuffled along the path: in-chunk ascending-id scans can no
+    // longer zip the minimum down the chain, so many rounds really run
+    // and every round replays the full stale-read / fetch_min / changed
+    // protocol the ordering proof covers.
+    let n = 257;
+    let g = path_permuted(n, 0xC0FFEE);
+    let expected = components_seq(&g);
+    let pool = PalPool::new(4).unwrap();
+    for round in 0..repeat() {
+        let (labels, rounds) = components_label_prop_rounds(&g, &pool);
+        assert_eq!(
+            labels, expected,
+            "label-prop diverged on permuted path, iteration {round}"
+        );
+        assert!(
+            (2..=n).contains(&rounds),
+            "round count {rounds} out of bounds on iteration {round}"
+        );
+    }
+}
+
+#[test]
+fn hook_converges_on_long_path_under_contention() {
+    let g = path(211);
+    let expected = components_seq(&g);
+    let pool = PalPool::new(4).unwrap();
+    for round in 0..repeat() {
+        let (labels, rounds) = components_hook_rounds(&g, &pool);
+        assert_eq!(labels, expected, "hook diverged on iteration {round}");
+        assert!(
+            rounds >= 2,
+            "a connected path needs at least one hook round"
+        );
+    }
+}
+
+#[test]
+fn union_find_converges_on_long_path_under_contention() {
+    let g = path(2048);
+    let expected = components_seq(&g);
+    let pool = PalPool::new(4).unwrap();
+    for round in 0..repeat() {
+        assert_eq!(
+            components_union_find(&g, &pool),
+            expected,
+            "union-find diverged on iteration {round}"
+        );
+    }
+}

@@ -10,28 +10,32 @@ use lopram_core::PalPool;
 use lopram_graph::prelude::*;
 use proptest::prelude::*;
 
-/// Run `kernel` once to warm the pool's arena, then assert that further
-/// calls neither grow the arena nor miss a checkout.
+/// Warm the pool's arena to its fixpoint, asserting output correctness
+/// on every round, then require a full round with zero growth and zero
+/// missed checkouts.  At `p > 1` concurrent checkouts shuffle same-typed
+/// shelf buffers between roles schedule-dependently; capacities are
+/// monotone, so the shuffle converges — but not in a fixed number of
+/// rounds (same contract as the partitioned-kernel suite).
 fn assert_steady_state<R: PartialEq + std::fmt::Debug>(
     pool: &PalPool,
     label: &str,
     mut kernel: impl FnMut() -> R,
     expected: &R,
 ) {
-    assert_eq!(&kernel(), expected, "{label}: warm-up call diverged");
-    let warm = pool.workspace().stats();
-    for round in 0..3 {
+    let mut settled = false;
+    for round in 0..50 {
+        let before = pool.workspace().stats();
         assert_eq!(&kernel(), expected, "{label}: round {round} diverged");
         let now = pool.workspace().stats();
-        assert_eq!(
-            now.grown_bytes, warm.grown_bytes,
-            "{label}: round {round} grew the arena"
-        );
-        assert_eq!(
-            now.misses, warm.misses,
-            "{label}: round {round} missed a checkout"
-        );
+        if now.grown_bytes == before.grown_bytes && now.misses == before.misses {
+            settled = true;
+            break;
+        }
     }
+    assert!(
+        settled,
+        "{label}: arena growth never settled to zero within 50 rounds"
+    );
     assert!(
         pool.metrics().arena_hits() > 0,
         "{label}: the kernel never touched the arena"

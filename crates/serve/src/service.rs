@@ -426,45 +426,52 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// here.  The pool's workspace guards and the budget [`Permit`]s all
 /// release on unwind, so nothing leaks on any path.
 fn run_one(shared: &Shared, job: Queued, permits: Vec<Permit>) {
-    let queue_wait = job.enqueued.elapsed();
+    // One clock read per dispatch: the queue-wait attribution, the
+    // pre-run deadline verdict and the run-time origin all derive from
+    // the same instant.  With separate reads a job could pass the
+    // dispatch-time deadline check yet already be past-deadline at the
+    // later `started` stamp — admitted and run while expired.
+    let dispatched = Instant::now();
+    let queue_wait = dispatched.duration_since(job.enqueued);
     let token = job.ticket.token.clone();
 
-    let (outcome, run_time, metrics, metrics_exclusive) = if let Some(reason) = token.poll_now() {
-        // Expired or cancelled while still queued: report without
-        // running the body at all.
-        (
-            Err(JobError::from(reason)),
-            Duration::ZERO,
-            MetricsSnapshot::default(),
-            true,
-        )
-    } else {
-        // Exclusivity window: metrics are exactly this job's iff no
-        // other job's window overlapped ours.
-        let my_start = shared.starts.fetch_add(1, Ordering::SeqCst) + 1;
-        let active_before = shared.active.fetch_add(1, Ordering::SeqCst);
-        let before = shared.pool.metrics().snapshot();
-        let started = Instant::now();
-        let run = job.run;
-        let cx = crate::job::JobContext {
-            pool: &shared.pool,
-            token: &token,
-            fault: job.fault,
-            step: std::cell::Cell::new(0),
+    let (outcome, run_time, metrics, metrics_exclusive) =
+        if let Some(reason) = token.poll_at(dispatched) {
+            // Expired or cancelled while still queued: report without
+            // running the body at all.
+            (
+                Err(JobError::from(reason)),
+                Duration::ZERO,
+                MetricsSnapshot::default(),
+                true,
+            )
+        } else {
+            // Exclusivity window: metrics are exactly this job's iff no
+            // other job's window overlapped ours.
+            let my_start = shared.starts.fetch_add(1, Ordering::SeqCst) + 1;
+            let active_before = shared.active.fetch_add(1, Ordering::SeqCst);
+            let before = shared.pool.metrics().snapshot();
+            let started = dispatched;
+            let run = job.run;
+            let cx = crate::job::JobContext {
+                pool: &shared.pool,
+                token: &token,
+                fault: job.fault,
+                step: std::cell::Cell::new(0),
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| run_cancellable(&token, || run(&cx))));
+            let run_time = started.elapsed();
+            let after = shared.pool.metrics().snapshot();
+            let active_after = shared.active.fetch_sub(1, Ordering::SeqCst) - 1;
+            let starts_after = shared.starts.load(Ordering::SeqCst);
+            let exclusive = active_before == 0 && active_after == 0 && starts_after == my_start;
+            let outcome = match result {
+                Ok(Ok(digest)) => Ok(digest),
+                Ok(Err(reason)) => Err(JobError::from(reason)),
+                Err(payload) => Err(JobError::Panicked(panic_message(payload.as_ref()))),
+            };
+            (outcome, run_time, after.delta_since(&before), exclusive)
         };
-        let result = catch_unwind(AssertUnwindSafe(|| run_cancellable(&token, || run(&cx))));
-        let run_time = started.elapsed();
-        let after = shared.pool.metrics().snapshot();
-        let active_after = shared.active.fetch_sub(1, Ordering::SeqCst) - 1;
-        let starts_after = shared.starts.load(Ordering::SeqCst);
-        let exclusive = active_before == 0 && active_after == 0 && starts_after == my_start;
-        let outcome = match result {
-            Ok(Ok(digest)) => Ok(digest),
-            Ok(Err(reason)) => Err(JobError::from(reason)),
-            Err(payload) => Err(JobError::Panicked(panic_message(payload.as_ref()))),
-        };
-        (outcome, run_time, after.delta_since(&before), exclusive)
-    };
 
     match &outcome {
         Ok(_) => {

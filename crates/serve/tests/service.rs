@@ -346,3 +346,88 @@ fn try_report_is_a_non_blocking_probe() {
     assert_eq!(report.outcome, Ok(0));
     service.shutdown();
 }
+
+#[test]
+fn dispatch_deadline_verdict_derives_from_a_single_clock_read() {
+    use lopram_core::{CancelReason, CancelToken};
+
+    // Regression for the two-clock-read dispatch bug: `run_one` used to
+    // read `Instant::now()` at the deadline check and again at the
+    // `started` stamp.  Pin a deadline exactly between those two read
+    // points: the old path's verdict ("not expired, run it") would
+    // contradict its own start time (already past the deadline).
+    let enqueued = Instant::now();
+    let first_read = enqueued + Duration::from_millis(10);
+    let deadline = enqueued + Duration::from_millis(15);
+    let second_read = enqueued + Duration::from_millis(20);
+    let token = CancelToken::with_deadline_at(deadline);
+
+    // Old read point #1 (the deadline check) passes…
+    assert_eq!(token.poll_at(first_read), None);
+    // …while old read point #2 (the start stamp) is already expired: the
+    // two reads straddling the deadline is exactly the inconsistent
+    // dispatch the single-read path forbids.
+    assert_eq!(
+        token.poll_at(second_read),
+        Some(CancelReason::DeadlineExceeded)
+    );
+    // The verdict latches: every later observer agrees.
+    assert_eq!(token.fired(), Some(CancelReason::DeadlineExceeded));
+    assert_eq!(
+        token.poll_at(first_read),
+        Some(CancelReason::DeadlineExceeded)
+    );
+
+    // The dispatch invariant itself: for ANY single instant, the
+    // queue-wait attribution and the verdict are consistent — expired
+    // iff the queue wait alone reaches the deadline budget.
+    for offset_ms in [0u64, 5, 10, 14, 15, 16, 25] {
+        let now = enqueued + Duration::from_millis(offset_ms);
+        let token = CancelToken::with_deadline_at(deadline);
+        let queue_wait = now.duration_since(enqueued);
+        let verdict = token.poll_at(now);
+        assert_eq!(
+            verdict.is_some(),
+            queue_wait >= Duration::from_millis(15),
+            "verdict and queue wait must derive from the same instant \
+             (offset {offset_ms} ms)"
+        );
+    }
+}
+
+#[test]
+fn expired_while_queued_reports_without_running() {
+    // Service-level face of the same contract: a job whose deadline
+    // passes while it waits behind the plug is reported expired with
+    // `run_time == 0` — the body never starts — and the queue wait it
+    // reports covers the deadline budget it blew.
+    let service = JobService::start(ServeConfig::default());
+    let release = Arc::new(AtomicBool::new(false));
+    let plug = service.submit(plug_job(Arc::clone(&release))).unwrap();
+    while service.queue_depth() > 0 {
+        std::thread::yield_now();
+    }
+    let body_ran = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&body_ran);
+    let doomed = service
+        .submit(
+            JobSpec::new(0, move |_| {
+                flag.store(true, Ordering::SeqCst);
+                0
+            })
+            .deadline(Duration::from_millis(5)),
+        )
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    release.store(true, Ordering::SeqCst);
+    plug.wait();
+    let report = doomed.wait();
+    assert_eq!(report.outcome, Err(JobError::DeadlineExceeded));
+    assert_eq!(report.run_time, Duration::ZERO);
+    assert!(report.queue_wait >= Duration::from_millis(5));
+    assert!(
+        !body_ran.load(Ordering::SeqCst),
+        "an expired job's body must never start"
+    );
+    service.shutdown();
+}
