@@ -1,0 +1,339 @@
+//! Experiment E20 — the runtime self-healing stack under scheduler
+//! chaos: seeded worker kills, dropped/delayed wakeups and forced steal
+//! retries injected into the shared pool while a full `bench_serve`-
+//! style traffic round runs through `lopram-serve` with retries on.
+//!
+//! Five scenarios, each a fresh service over a 2-processor pool running
+//! the same seeded [`TrafficPlan`]:
+//!
+//! * **clean** — no chaos, no faults: the digest baseline.
+//! * **kill-respawn** — worker 1 is chaos-killed mid-traffic and the
+//!   supervisor respawns it; every job must still complete with its
+//!   expected digest and [`lopram_core::PoolHealth`] must report both the kill and
+//!   the respawn.
+//! * **kill-degrade** — same kill, no respawn: the pool degrades to the
+//!   survivor, which must drain the whole round alone.
+//! * **faults-retried** — a third of the jobs are panic-/cancel-faulted
+//!   and healed by retry-with-backoff: every digest must come out
+//!   bit-identical to the clean run's, with `attempts > 1` on exactly
+//!   the faulted jobs.
+//! * **dropped-wakeups** / **steal-retries** — wakeup and steal chaos
+//!   that must cost latency, never results.
+//!
+//! Every scenario asserts its gates inline (`--smoke` and full runs
+//! alike); everything lands in `BENCH_chaos.json`, the committed
+//! cross-PR baseline the `bench-baseline` CI job parses.
+
+use std::time::{Duration, Instant};
+
+use lopram_bench::traffic::TrafficPlan;
+use lopram_core::{ChaosConfig, SelfHeal};
+use lopram_serve::{Fault, FaultPlan, JobService, RetryPolicy, ServeConfig, SubmitError};
+
+const TENANTS: usize = 3;
+
+struct Scenario {
+    name: &'static str,
+    chaos: ChaosConfig,
+    self_heal: SelfHeal,
+    /// Inject panic/cancel faults into every third job (healed by
+    /// retry) instead of running fault-free.
+    faulted: bool,
+}
+
+struct Row {
+    name: &'static str,
+    jobs: u64,
+    completed_ok: u64,
+    digests_ok: bool,
+    retried_jobs: u64,
+    max_attempts: u32,
+    retries: u64,
+    killed: u64,
+    respawned: u64,
+    alive_end: usize,
+}
+
+/// Panic/cancel faults on every third job — the retryable subset (a
+/// deadline fault is a verdict, not a transient, and is never retried).
+fn retryable_plan(seed: u64, jobs: u64) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    for i in (0..jobs).step_by(3) {
+        let fault = if (seed + i).is_multiple_of(2) {
+            Fault::Panic {
+                at_step: 1 + (seed + i) % 16,
+            }
+        } else {
+            Fault::Cancel {
+                at_step: 1 + (seed + i) % 16,
+            }
+        };
+        plan = plan.inject(i, fault);
+    }
+    plan
+}
+
+/// Poll health until `ok` holds (observing health drives supervision,
+/// so this loop is the watchdog), failing the run after 10s.
+fn wait_health(service: &JobService, what: &str, ok: impl Fn(usize, u64, u64) -> bool) {
+    let start = Instant::now();
+    loop {
+        let h = service.health();
+        if ok(h.alive_workers, h.killed, h.respawned) {
+            return;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "pool health never reached: {what}; last {h:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn run_scenario(sc: &Scenario, seed: u64, jobs: u64) -> Row {
+    let traffic = TrafficPlan::seeded(seed, jobs, TENANTS);
+    let faults = if sc.faulted {
+        retryable_plan(seed, jobs)
+    } else {
+        FaultPlan::none()
+    };
+    let service = JobService::start(ServeConfig {
+        tenants: TENANTS,
+        tenant_budget: 2,
+        queue_capacity: jobs as usize,
+        executors: 2,
+        processors: 2,
+        fault_plan: faults.clone(),
+        retry: RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_micros(200),
+            ..RetryPolicy::default()
+        },
+        chaos: sc.chaos,
+        self_heal: sc.self_heal,
+        ..ServeConfig::default()
+    });
+    // Retry on quota rejection (the seeded mix draws tenants unevenly);
+    // retrying preserves submission order so ids match plan indices.
+    let tickets: Vec<_> = (0..jobs)
+        .map(|i| loop {
+            match service.submit(traffic.spec(i, &faults)) {
+                Ok(t) => break t,
+                Err(SubmitError::Rejected { .. }) => std::thread::yield_now(),
+                Err(other) => panic!("unexpected submit error: {other}"),
+            }
+        })
+        .collect();
+    let mut completed_ok = 0u64;
+    let mut digests_ok = true;
+    let mut retried_jobs = 0u64;
+    let mut max_attempts = 0u32;
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let report = ticket.wait();
+        max_attempts = max_attempts.max(report.attempts);
+        if report.attempts > 1 {
+            retried_jobs += 1;
+        }
+        // Liveness + correctness gate: under every chaos mix, every
+        // admitted job completes with its expected digest (faulted jobs
+        // via retry).
+        if report.outcome == Ok(traffic.expected(i as u64)) {
+            completed_ok += 1;
+        } else {
+            digests_ok = false;
+            eprintln!(
+                "{}: job {i} came back {:?} after {} attempts",
+                sc.name, report.outcome, report.attempts
+            );
+        }
+    }
+    // Let the watchdog observe the terminal pool state before snapshot.
+    match (sc.chaos.kill_worker, sc.self_heal) {
+        (Some(_), SelfHeal::Degrade) => {
+            wait_health(&service, "degraded to 1 alive", |alive, killed, _| {
+                alive == 1 && killed >= 1
+            });
+        }
+        (Some(_), SelfHeal::Respawn) => {
+            wait_health(
+                &service,
+                "respawned back to 2 alive",
+                |alive, killed, respawned| alive == 2 && killed >= 1 && respawned >= 1,
+            );
+        }
+        _ => {}
+    }
+    let health = service.health();
+    let stats = service.shutdown();
+    Row {
+        name: sc.name,
+        jobs,
+        completed_ok,
+        digests_ok,
+        retried_jobs,
+        max_attempts,
+        retries: stats.retries,
+        killed: health.killed,
+        respawned: health.respawned,
+        alive_end: health.alive_workers,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Injected faults panic on purpose and in volume; keep the default
+    // hook's backtraces for *unexpected* panics only.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.starts_with("injected fault"))
+            .unwrap_or(false);
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    let jobs: u64 = if smoke { 24 } else { 120 };
+    let seed = 0xE20_C405;
+    println!(
+        "E20: self-healing under scheduler chaos — {TENANTS} tenants, {jobs} jobs/scenario, \
+         shared 2-processor pool\n"
+    );
+
+    let scenarios = [
+        Scenario {
+            name: "clean",
+            chaos: ChaosConfig::none(),
+            self_heal: SelfHeal::Respawn,
+            faulted: false,
+        },
+        Scenario {
+            name: "kill-respawn",
+            chaos: ChaosConfig::none().kill(1, 4),
+            self_heal: SelfHeal::Respawn,
+            faulted: false,
+        },
+        Scenario {
+            name: "kill-degrade",
+            chaos: ChaosConfig::none().kill(1, 4),
+            self_heal: SelfHeal::Degrade,
+            faulted: false,
+        },
+        Scenario {
+            name: "faults-retried",
+            chaos: ChaosConfig::none().kill(1, 4),
+            self_heal: SelfHeal::Respawn,
+            faulted: true,
+        },
+        Scenario {
+            name: "dropped-wakeups",
+            chaos: ChaosConfig::none().drop_wakeup(1).delay_wakeup(2),
+            self_heal: SelfHeal::Respawn,
+            faulted: false,
+        },
+        Scenario {
+            name: "steal-retries",
+            chaos: ChaosConfig::none().force_steal_retries(3),
+            self_heal: SelfHeal::Respawn,
+            faulted: false,
+        },
+    ];
+
+    let mut rows = Vec::new();
+    for sc in &scenarios {
+        let row = run_scenario(sc, seed, jobs);
+        println!(
+            "{:>15}: {}/{} ok, digests_ok {}, retried {} (max attempts {}, {} re-dispatches), \
+             killed {}, respawned {}, alive at end {}",
+            row.name,
+            row.completed_ok,
+            row.jobs,
+            row.digests_ok,
+            row.retried_jobs,
+            row.max_attempts,
+            row.retries,
+            row.killed,
+            row.respawned,
+            row.alive_end,
+        );
+        // Universal gates: every admitted job completed with its
+        // expected digest, under every chaos mix.
+        assert!(row.digests_ok, "{}: digest divergence", row.name);
+        assert_eq!(row.completed_ok, row.jobs, "{}: liveness", row.name);
+        // Per-scenario gates.
+        match row.name {
+            "clean" => {
+                assert_eq!(row.killed, 0);
+                assert_eq!(row.retried_jobs, 0);
+            }
+            "kill-respawn" => {
+                assert!(row.killed >= 1, "kill must fire");
+                assert!(row.respawned >= 1, "supervisor must respawn");
+                assert_eq!(row.alive_end, 2, "healed back to full width");
+            }
+            "kill-degrade" => {
+                assert!(row.killed >= 1, "kill must fire");
+                assert_eq!(row.respawned, 0);
+                assert_eq!(row.alive_end, 1, "degraded to the survivor");
+            }
+            "faults-retried" => {
+                assert!(row.max_attempts >= 2, "faulted jobs must retry");
+                assert!(row.retried_jobs >= jobs / 3, "every faulted job retried");
+            }
+            _ => {}
+        }
+        rows.push(row);
+    }
+
+    println!(
+        "\nReading: a chaos-killed worker is detected by the watchdog and either respawned\n\
+         (back to full width) or degraded around (survivor drains everything); retry-with-\n\
+         backoff heals panic/cancel faults to digests bit-identical to the clean run; and\n\
+         wakeup/steal chaos costs latency, never results."
+    );
+
+    // ---- JSON baseline -------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"chaos\",\n");
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"tenants\": {TENANTS},\n"));
+    json.push_str(&format!("  \"jobs_per_scenario\": {jobs},\n"));
+    json.push_str("  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"jobs\": {}, \"completed_ok\": {}, \"digests_ok\": {}, \
+             \"retried_jobs\": {}, \"max_attempts\": {}, \"retries\": {}, \"killed\": {}, \
+             \"respawned\": {}, \"alive_end\": {}}}{comma}\n",
+            r.name,
+            r.jobs,
+            r.completed_ok,
+            r.digests_ok,
+            r.retried_jobs,
+            r.max_attempts,
+            r.retries,
+            r.killed,
+            r.respawned,
+            r.alive_end,
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    // Smoke runs write to their own (gitignored) file: the committed
+    // BENCH_chaos.json is the full-size baseline.
+    let default_out = if smoke {
+        "BENCH_chaos.smoke.json"
+    } else {
+        "BENCH_chaos.json"
+    };
+    let out = std::env::var("LOPRAM_BENCH_OUT").unwrap_or_else(|_| default_out.to_string());
+    std::fs::write(&out, &json).expect("write benchmark baseline");
+    println!("\nwrote {out}");
+
+    if smoke {
+        println!("smoke: OK (all scenarios live, digests clean, kills healed, retries healed)");
+    }
+}

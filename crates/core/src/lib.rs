@@ -47,9 +47,9 @@ pub use executor::{Executor, PalExecutor, SeqExecutor};
 pub use metrics::{assert_metrics_consistent, MetricsSnapshot, RunMetrics, SpeedupReport};
 pub use policy::{processors_for, ProcessorPolicy};
 pub use runtime::{
-    run_cancellable, CancelReason, CancelToken, DagTrace, PalPool, PalPoolBuilder, PalScope, Scan,
-    ThrottledPool, ThrottledScope, TraceConfig, TraceEvent, TraceSummary, Workspace,
-    WorkspaceGuard, WorkspaceStats,
+    run_cancellable, CancelReason, CancelToken, ChaosConfig, DagTrace, PalPool, PalPoolBuilder,
+    PalScope, PoolHealth, Scan, SelfHeal, ThrottledPool, ThrottledScope, TraceConfig, TraceEvent,
+    TraceSummary, Workspace, WorkspaceGuard, WorkspaceStats,
 };
 pub use sercell::SerCell;
 
@@ -59,8 +59,8 @@ pub mod prelude {
     pub use crate::palthreads;
     pub use crate::policy::{processors_for, ProcessorPolicy};
     pub use crate::runtime::{
-        run_cancellable, CancelReason, CancelToken, DagTrace, PalPool, PalPoolBuilder, PalScope,
-        Scan, ThrottledPool, TraceConfig, Workspace,
+        run_cancellable, CancelReason, CancelToken, ChaosConfig, DagTrace, PalPool, PalPoolBuilder,
+        PalScope, PoolHealth, Scan, SelfHeal, ThrottledPool, TraceConfig, Workspace,
     };
     pub use crate::sercell::SerCell;
 }

@@ -52,7 +52,11 @@ mod workspace;
 
 pub use cancel::{run_cancellable, CancelReason, CancelToken};
 pub use pool::{PalPool, PalPoolBuilder, PalScope};
+// Runtime health and chaos-injection types, defined by the work-stealing
+// runtime shim and surfaced through `PalPool::health` /
+// `PalPoolBuilder::chaos`.
 pub use primitives::Scan;
+pub use rayon::{ChaosConfig, PoolHealth, SelfHeal};
 pub use throttled::{ThrottledPool, ThrottledPoolBuilder, ThrottledScope};
 pub use tokens::{Permit, ProcessorTokens};
 pub use trace::{DagTrace, TraceConfig, TraceEvent, TraceSummary};

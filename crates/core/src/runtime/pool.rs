@@ -66,6 +66,11 @@ use crate::policy::{
 /// Default headroom factor `α` for the sequential cutoff `⌈α·log₂ p⌉`.
 pub const DEFAULT_CUTOFF_ALPHA: f64 = 2.0;
 
+/// Sentinel stored in [`PalPool::cutoff`] when the depth throttle is
+/// disabled (no real cutoff can reach it: depths are far below
+/// `usize::MAX`).
+const CUTOFF_DISABLED: usize = usize::MAX;
+
 /// How a pool blocks its data-parallel primitives (see
 /// [`PalPool::chunk_count`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -275,8 +280,14 @@ pub struct PalPool {
     /// Identity for the thread-local depth counter (see [`PAL_DEPTH`]).
     id: u64,
     /// Recursion depth at which forks stop creating scheduler jobs
-    /// (`⌈α·log₂ p⌉`); `None` disables the throttle.
-    cutoff: Option<usize>,
+    /// (`⌈α·log₂ p⌉`); the sentinel [`CUTOFF_DISABLED`] disables the
+    /// throttle.  Atomic because [`health`](PalPool::health) recomputes it
+    /// for the *effective* processor count when workers die or respawn.
+    cutoff: std::sync::atomic::AtomicUsize,
+    /// The throttle headroom the pool was built with; `None` when the
+    /// throttle is disabled.  Kept so a degraded pool can recompute
+    /// `⌈α·log₂ p_alive⌉`.
+    alpha: Option<f64>,
     /// Blocking policy for the data-parallel primitives.
     grain: Grain,
     /// Reusable scratch arena for the blocked primitives and the kernels
@@ -310,17 +321,22 @@ impl PalPool {
             Some(DEFAULT_CUTOFF_ALPHA),
             Grain::Adaptive { min: DEFAULT_GRAIN },
             None,
+            rayon::ChaosConfig::default(),
+            rayon::SelfHeal::default(),
         )
     }
 
     /// Create a pool with exactly `p` processors, an explicit throttle
     /// (`Some(alpha)` applies the `⌈α·log₂ p⌉` cutoff, `None` disables it),
-    /// an explicit blocking policy and an optional execution tracer.
+    /// an explicit blocking policy, an optional execution tracer and the
+    /// runtime's chaos/self-healing configuration.
     fn with_cutoff(
         p: usize,
         alpha: Option<f64>,
         grain: Grain,
         trace: Option<TraceConfig>,
+        chaos: rayon::ChaosConfig,
+        self_heal: rayon::SelfHeal,
     ) -> Result<Self> {
         if p == 0 {
             return Err(Error::ZeroProcessors);
@@ -328,6 +344,8 @@ impl PalPool {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(p)
             .thread_name(|i| format!("lopram-proc-{i}"))
+            .chaos(chaos)
+            .self_heal(self_heal)
             .build()
             .map_err(|e| Error::InvalidInput(format!("failed to build thread pool: {e}")))?;
         let workspace = Workspace::new();
@@ -339,7 +357,10 @@ impl PalPool {
             pool,
             metrics: RunMetrics::new(),
             id: POOL_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
-            cutoff: alpha.map(|a| cutoff_levels(a, p)),
+            cutoff: std::sync::atomic::AtomicUsize::new(
+                alpha.map_or(CUTOFF_DISABLED, |a| cutoff_levels(a, p)),
+            ),
+            alpha,
             grain,
             workspace,
             trace,
@@ -380,8 +401,35 @@ impl PalPool {
     ///
     /// With the default `α = 2` this is `⌈2·log₂ p⌉`; a one-processor pool
     /// reports `Some(0)` — every fork elided.
+    ///
+    /// The value follows the pool's *effective* width: after
+    /// [`health`](PalPool::health) observes dead (or respawned) workers it
+    /// recomputes `⌈α·log₂ p_alive⌉`, keeping the §3.1 throttle optimal at
+    /// the degraded processor count.
     pub fn cutoff_depth(&self) -> Option<usize> {
-        self.cutoff
+        match self.cutoff.load(std::sync::atomic::Ordering::Relaxed) {
+            CUTOFF_DISABLED => None,
+            depth => Some(depth),
+        }
+    }
+
+    /// Snapshot the runtime's worker liveness and heartbeats, fold any
+    /// kill/respawn counters into [`metrics`](PalPool::metrics), and
+    /// re-throttle: the `⌈α·log₂ p⌉` cutoff is recomputed for the number
+    /// of workers actually alive (Theorem 1 is parameterized by p, so a
+    /// degraded pool should be optimal-at-`p_alive`, not hang at the old
+    /// width).  Respawns restore the original cutoff the same way.
+    pub fn health(&self) -> rayon::PoolHealth {
+        let health = self.pool.health();
+        self.sync_metrics();
+        if let Some(alpha) = self.alpha {
+            let effective = health.alive_workers.max(1);
+            self.cutoff.store(
+                cutoff_levels(alpha, effective),
+                std::sync::atomic::Ordering::Relaxed,
+            );
+        }
+        health
     }
 
     /// The pool's scratch arena: reusable, grow-only typed buffers the
@@ -448,6 +496,8 @@ impl PalPool {
         let stolen = now.stolen - last.pool.stolen;
         let inlined = now.inlined - last.pool.inlined;
         let injected = now.injected - last.pool.injected;
+        let killed = now.killed - last.pool.killed;
+        let respawned = now.respawned - last.pool.respawned;
         let arena_hits = arena.hits - last.arena_hits;
         // Wrapping: grown_bytes is a signed (two's-complement) net, so it
         // can transiently decrease; the wrapped delta re-nets correctly
@@ -462,6 +512,12 @@ impl PalPool {
             .fetch_add(stolen + injected, Ordering::Relaxed);
         self.metrics.steals.fetch_add(stolen, Ordering::Relaxed);
         self.metrics.inlined.fetch_add(inlined, Ordering::Relaxed);
+        self.metrics
+            .workers_killed
+            .fetch_add(killed, Ordering::Relaxed);
+        self.metrics
+            .workers_respawned
+            .fetch_add(respawned, Ordering::Relaxed);
         self.metrics
             .arena_hits
             .fetch_add(arena_hits, Ordering::Relaxed);
@@ -511,7 +567,9 @@ impl PalPool {
     {
         cancel::checkpoint();
         let depth = current_depth(self.id);
-        let elide = self.cutoff.is_some_and(|cutoff| depth >= cutoff);
+        // Relaxed: the cutoff is a scheduling hint; a fork racing a
+        // degraded-width recompute may use either width, both correct.
+        let elide = depth >= self.cutoff.load(std::sync::atomic::Ordering::Relaxed);
         if let Some(trace) = &self.trace {
             return self.join_traced(trace, a, b, depth, elide);
         }
@@ -672,7 +730,7 @@ impl PalPool {
     /// guarantees of [`DagTrace::summary`].
     pub fn take_trace(&self) -> Option<DagTrace> {
         let trace = self.trace.as_ref()?;
-        Some(trace.drain(self.processors, self.cutoff))
+        Some(trace.drain(self.processors, self.cutoff_depth()))
     }
 
     /// This thread's per-worker trace-log slot (`None`: not a worker of
@@ -869,7 +927,7 @@ impl<'scope, 'env> PalScope<'scope, 'env> {
         cancel::checkpoint();
         let id = self.pool.id;
         let depth = current_depth(id);
-        let elide = self.pool.cutoff.is_some_and(|cutoff| depth >= cutoff);
+        let elide = depth >= self.pool.cutoff.load(std::sync::atomic::Ordering::Relaxed);
         if let Some(trace) = &self.pool.trace {
             return self.spawn_traced(trace, f, depth, elide);
         }
@@ -973,6 +1031,10 @@ pub struct PalPoolBuilder {
     grain: Grain,
     /// `Some` enables the execution tracer.
     trace: Option<TraceConfig>,
+    /// Deterministic scheduler-fault injection (none by default).
+    chaos: rayon::ChaosConfig,
+    /// Dead-worker recovery policy.
+    self_heal: rayon::SelfHeal,
 }
 
 impl Default for PalPoolBuilder {
@@ -984,6 +1046,8 @@ impl Default for PalPoolBuilder {
             alpha: Some(DEFAULT_CUTOFF_ALPHA),
             grain: Grain::Adaptive { min: DEFAULT_GRAIN },
             trace: None,
+            chaos: rayon::ChaosConfig::default(),
+            self_heal: rayon::SelfHeal::default(),
         }
     }
 }
@@ -1058,6 +1122,23 @@ impl PalPoolBuilder {
         self
     }
 
+    /// Inject deterministic scheduler faults into the runtime backing
+    /// this pool — kill a worker, drop/delay a wake-up, force steal
+    /// retries; see [`rayon::ChaosConfig`].  Off by default.
+    pub fn chaos(mut self, chaos: rayon::ChaosConfig) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Dead-worker recovery policy ([`rayon::SelfHeal`]): respawn a
+    /// replacement (the default) or degrade to the surviving workers —
+    /// with [`PalPool::health`] re-throttling the cutoff to the effective
+    /// width.
+    pub fn self_heal(mut self, self_heal: rayon::SelfHeal) -> Self {
+        self.self_heal = self_heal;
+        self
+    }
+
     /// Build the pool.
     pub fn build(self) -> Result<PalPool> {
         let p = match (self.processors, self.policy) {
@@ -1076,7 +1157,14 @@ impl PalPoolBuilder {
                 });
             }
         }
-        PalPool::with_cutoff(p, self.alpha, self.grain, self.trace)
+        PalPool::with_cutoff(
+            p,
+            self.alpha,
+            self.grain,
+            self.trace,
+            self.chaos,
+            self.self_heal,
+        )
     }
 }
 

@@ -1,0 +1,117 @@
+//! Runtime health integration tests: a chaos-killed worker is detected by
+//! `PalPool::health()`, the §3.1 cutoff is recomputed for the effective
+//! processor count (Theorem 1 is parameterized by p), and metrics carry
+//! the kill/respawn counters.
+
+use std::time::{Duration, Instant};
+
+use lopram_core::{ChaosConfig, PalPool, PoolHealth, SelfHeal};
+
+/// Poll `pool.health()` until `ok` holds, failing after 10s.  Observing
+/// health also drives supervision, so this loop *is* the watchdog.
+fn wait_health(pool: &PalPool, what: &str, ok: impl Fn(&PoolHealth) -> bool) -> PoolHealth {
+    let start = Instant::now();
+    loop {
+        let health = pool.health();
+        if ok(&health) {
+            return health;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "pool health never reached: {what}; last {health:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn sum(pool: &PalPool, data: &[u64]) -> u64 {
+    if data.len() <= 8 {
+        return data.iter().sum();
+    }
+    let (lo, hi) = data.split_at(data.len() / 2);
+    let (a, b) = pool.join(|| sum(pool, lo), || sum(pool, hi));
+    a + b
+}
+
+#[test]
+fn healthy_pool_reports_full_width_and_untouched_cutoff() {
+    let pool = PalPool::new(2).unwrap();
+    assert_eq!(pool.cutoff_depth(), Some(2));
+    let health = pool.health();
+    assert_eq!(health.workers, 2);
+    assert_eq!(health.alive_workers, 2);
+    assert!(!health.is_degraded());
+    assert_eq!(pool.cutoff_depth(), Some(2));
+    assert_eq!(pool.metrics().workers_killed(), 0);
+}
+
+#[test]
+fn degraded_pool_recomputes_cutoff_for_effective_p() {
+    // p = 2, worker 1 killed at startup, no respawn: once health observes
+    // the death, the throttle must drop from ⌈2·log₂ 2⌉ = 2 to
+    // ⌈2·log₂ 1⌉ = 0 — optimal-at-(p−1), not hung at the old width.
+    let pool = PalPool::builder()
+        .processors(2)
+        .chaos(ChaosConfig::none().kill(1, 0))
+        .self_heal(SelfHeal::Degrade)
+        .build()
+        .unwrap();
+    assert_eq!(pool.cutoff_depth(), Some(2));
+    let data: Vec<u64> = (0..1024).collect();
+    // Liveness: joins complete while (or after) the kill fires.
+    assert_eq!(sum(&pool, &data), 1023 * 1024 / 2);
+    let health = wait_health(&pool, "degraded to 1 alive", |h| {
+        h.alive_workers == 1 && h.killed == 1
+    });
+    assert!(health.is_degraded());
+    assert_eq!(health.dead_workers(), vec![1]);
+    assert_eq!(pool.cutoff_depth(), Some(0));
+    // The kill is folded into the run metrics.
+    assert_eq!(pool.metrics().workers_killed(), 1);
+    assert_eq!(pool.metrics().workers_respawned(), 0);
+    // The degraded pool still computes correctly.
+    assert_eq!(sum(&pool, &data), 1023 * 1024 / 2);
+}
+
+#[test]
+fn respawned_pool_restores_the_cutoff() {
+    let pool = PalPool::builder()
+        .processors(2)
+        .chaos(ChaosConfig::none().kill(0, 0))
+        .self_heal(SelfHeal::Respawn)
+        .build()
+        .unwrap();
+    let data: Vec<u64> = (0..1024).collect();
+    assert_eq!(sum(&pool, &data), 1023 * 1024 / 2);
+    let health = wait_health(&pool, "respawned back to 2 alive", |h| {
+        h.alive_workers == 2 && h.killed == 1
+    });
+    assert!(health.respawned >= 1);
+    // Back at full width: the cutoff is the original ⌈2·log₂ 2⌉.
+    assert_eq!(pool.cutoff_depth(), Some(2));
+    let m = pool.metrics();
+    assert_eq!(m.workers_killed(), 1);
+    assert!(m.workers_respawned() >= 1);
+    assert_eq!(sum(&pool, &data), 1023 * 1024 / 2);
+}
+
+#[test]
+fn chaos_kill_does_not_change_results_or_fork_accounting() {
+    // Differential: same computation on a clean pool and a seeded-chaos
+    // pool — bit-identical results, and forks() accounts every creation
+    // point on both.
+    let data: Vec<u64> = (0..2048).collect();
+    let clean = PalPool::new(2).unwrap();
+    let expected = sum(&clean, &data);
+    for seed in [3u64, 11, 29] {
+        let pool = PalPool::builder()
+            .processors(2)
+            .chaos(ChaosConfig::seeded(seed, 2))
+            .self_heal(SelfHeal::Respawn)
+            .build()
+            .unwrap();
+        assert_eq!(sum(&pool, &data), expected, "seed {seed}");
+        let m = pool.metrics();
+        assert!(m.forks() > 0, "seed {seed}");
+    }
+}

@@ -62,11 +62,11 @@ pub mod service;
 
 pub use fault::{Fault, FaultPlan};
 pub use job::{JobContext, JobError, JobReport, JobSpec, JobTicket, SubmitError};
-pub use service::{JobService, ServeConfig, ServiceStats};
+pub use service::{JobService, RetryPolicy, ServeConfig, ServiceStats};
 
 /// Convenience prelude re-exporting the items most users need.
 pub mod prelude {
     pub use crate::fault::{Fault, FaultPlan};
     pub use crate::job::{JobContext, JobError, JobReport, JobSpec, JobTicket, SubmitError};
-    pub use crate::service::{JobService, ServeConfig, ServiceStats};
+    pub use crate::service::{JobService, RetryPolicy, ServeConfig, ServiceStats};
 }

@@ -34,7 +34,7 @@ const STEPS: u64 = 32; // > the max seeded at_step (16): every fault fires
 /// only on `i`: a fixed cooperative-stepping prologue (so injected
 /// faults land at their planned step) followed by a pool scan (so every
 /// job exercises forks and the workspace arena).
-fn job_body(i: u64) -> impl FnOnce(&JobContext<'_>) -> u64 + Send + 'static {
+fn job_body(i: u64) -> impl FnMut(&JobContext<'_>) -> u64 + Send + 'static {
     move |cx| {
         let mut acc = i.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1);
         for s in 0..STEPS {
@@ -193,7 +193,7 @@ fn panic_inside_a_pool_operator_is_isolated_and_leaves_the_arena_warm() {
     assert_eq!(stats.panicked, 9); // round 0 has poison == 0 and succeeds
 }
 
-fn job_scan(n: u64) -> impl FnOnce(&JobContext<'_>) -> u64 + Send + 'static {
+fn job_scan(n: u64) -> impl FnMut(&JobContext<'_>) -> u64 + Send + 'static {
     move |cx| {
         let data: Vec<u64> = (0..n).collect();
         cx.pool().scan(&data, 0u64, |a, b| a + b).total

@@ -1,0 +1,401 @@
+//! Retry-with-backoff and graceful-degradation acceptance suite:
+//!
+//! (a) a panic- or cancel-faulted job is re-dispatched with a clean
+//!     token and no fault, and its retried digest is **bit-identical**
+//!     to a fault-free run's — proved differentially;
+//! (b) retries exhaust to the terminal error with exact attempt
+//!     accounting, and client cancels are verdicts, never retried;
+//! (c) backoff is a pure function of `(seed, job, attempt)`;
+//! (d) a pool degraded below the configured floor sheds new submissions
+//!     with [`SubmitError::Degraded`] while admitted work drains, and
+//!     `shutdown()` still drains the queue on the survivors.
+
+use std::error::Error;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lopram_core::{ChaosConfig, SelfHeal};
+use lopram_serve::{
+    Fault, FaultPlan, JobContext, JobError, JobService, JobSpec, RetryPolicy, ServeConfig,
+    SubmitError,
+};
+
+/// Stress multiplier: `LOPRAM_TEST_REPEAT=20` (CI chaos-stress job)
+/// re-runs the differential checks under more seeds.
+fn repeat() -> u64 {
+    std::env::var("LOPRAM_TEST_REPEAT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+const STEPS: u64 = 24; // > the largest at_step used below: every fault fires
+
+/// Deterministic job body: a cooperative-stepping prologue (so injected
+/// faults land at their planned step) followed by a pool scan.  The
+/// digest depends only on `i`, so a retried run must reproduce it
+/// bit-identically.
+fn job_body(i: u64) -> impl FnMut(&JobContext<'_>) -> u64 + Send + 'static {
+    move |cx| {
+        let mut acc = i.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(1);
+        for s in 0..STEPS {
+            cx.step();
+            acc = acc.rotate_left(7) ^ s;
+        }
+        let len = 256 + (i % 5) * 256;
+        let data: Vec<u64> = (0..len).map(|j| j.wrapping_add(i)).collect();
+        acc ^ cx.pool().scan(&data, 0u64, |a, b| a.wrapping_add(*b)).total
+    }
+}
+
+fn retrying_config(plan: FaultPlan, max_retries: u32) -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 256,
+        fault_plan: plan,
+        retry: RetryPolicy {
+            max_retries,
+            base_backoff: Duration::from_micros(100),
+            ..RetryPolicy::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn panic_fault_is_retried_to_a_clean_digest() {
+    // The clean digest, from a fault-free service.
+    let clean = JobService::start(retrying_config(FaultPlan::none(), 0));
+    let expect = clean
+        .submit(JobSpec::new(0, job_body(0)))
+        .unwrap()
+        .wait()
+        .outcome;
+    clean.shutdown();
+    assert!(expect.is_ok());
+
+    let plan = FaultPlan::none().inject(0, Fault::Panic { at_step: 3 });
+    let service = JobService::start(retrying_config(plan, 2));
+    let report = service.submit(JobSpec::new(0, job_body(0))).unwrap().wait();
+    assert_eq!(report.outcome, expect, "retried digest is bit-identical");
+    assert_eq!(report.attempts, 2, "one faulted attempt, one clean retry");
+    let stats = service.shutdown();
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.panicked, 0, "only terminal attempts hit the counters");
+}
+
+#[test]
+fn cancel_fault_is_retried_but_client_cancel_is_not() {
+    // A fault-injected cancel is transient: retried to success.
+    let plan = FaultPlan::none().inject(0, Fault::Cancel { at_step: 5 });
+    let service = JobService::start(retrying_config(plan, 1));
+    let report = service.submit(JobSpec::new(0, job_body(0))).unwrap().wait();
+    assert!(report.outcome.is_ok(), "got {:?}", report.outcome);
+    assert_eq!(report.attempts, 2);
+    assert_eq!(service.shutdown().retries, 1);
+
+    // A client cancel is a verdict: terminal on the spot, even with
+    // retries configured.  Cancel while queued (before any dispatch).
+    let service = JobService::start(ServeConfig {
+        executors: 1,
+        tenant_budget: 1,
+        queue_capacity: 8,
+        retry: RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_micros(100),
+            ..RetryPolicy::default()
+        },
+        ..ServeConfig::default()
+    });
+    // A slow job holds the single executor while we cancel the one
+    // queued behind it.
+    let gate = service
+        .submit(JobSpec::new(0, |_cx| {
+            std::thread::sleep(Duration::from_millis(50));
+            1
+        }))
+        .unwrap();
+    let victim = service.submit(JobSpec::new(0, job_body(1))).unwrap();
+    victim.cancel();
+    let report = victim.wait();
+    assert_eq!(report.outcome, Err(JobError::Cancelled));
+    assert_eq!(report.attempts, 1);
+    assert!(gate.wait().outcome.is_ok());
+    let stats = service.shutdown();
+    assert_eq!(stats.retries, 0, "client cancels are never retried");
+    assert_eq!(stats.cancelled, 1);
+}
+
+#[test]
+fn retries_exhaust_to_the_terminal_error_with_exact_attempt_accounting() {
+    let attempts_seen = Arc::new(AtomicU32::new(0));
+    let seen = Arc::clone(&attempts_seen);
+    let service = JobService::start(retrying_config(FaultPlan::none(), 2));
+    let report = service
+        .submit(JobSpec::new(0, move |_cx| {
+            seen.fetch_add(1, Ordering::SeqCst);
+            panic!("hostile every time");
+        }))
+        .unwrap()
+        .wait();
+    assert!(matches!(report.outcome, Err(JobError::Panicked(_))));
+    assert_eq!(report.attempts, 3, "1 first attempt + 2 retries");
+    assert_eq!(
+        attempts_seen.load(Ordering::SeqCst),
+        3,
+        "body ran each time"
+    );
+    let stats = service.shutdown();
+    assert_eq!(stats.retries, 2);
+    assert_eq!(stats.panicked, 1, "one terminal failure, not three");
+    assert_eq!(stats.completed, 0);
+}
+
+#[test]
+fn per_job_retries_override_the_service_default() {
+    // Service default allows no retries; the spec opts in.
+    let plan = FaultPlan::none()
+        .inject(0, Fault::Panic { at_step: 2 })
+        .inject(1, Fault::Panic { at_step: 2 });
+    let service = JobService::start(retrying_config(plan, 0));
+    let healed = service
+        .submit(JobSpec::new(0, job_body(0)).retries(1))
+        .unwrap()
+        .wait();
+    assert!(healed.outcome.is_ok(), "got {:?}", healed.outcome);
+    assert_eq!(healed.attempts, 2);
+    let unhealed = service.submit(JobSpec::new(0, job_body(1))).unwrap().wait();
+    assert!(matches!(unhealed.outcome, Err(JobError::Panicked(_))));
+    assert_eq!(unhealed.attempts, 1);
+    service.shutdown();
+}
+
+#[test]
+fn deadline_expiry_is_never_retried() {
+    let plan = FaultPlan::none().inject(0, Fault::Deadline { at_step: 2 });
+    let service = JobService::start(retrying_config(plan, 3));
+    let report = service
+        .submit(JobSpec::new(0, job_body(0)).deadline(Duration::from_millis(40)))
+        .unwrap()
+        .wait();
+    assert_eq!(report.outcome, Err(JobError::DeadlineExceeded));
+    assert_eq!(report.attempts, 1);
+    assert_eq!(service.shutdown().retries, 0);
+}
+
+#[test]
+fn backoff_is_a_pure_function_of_seed_job_and_attempt() {
+    let policy = RetryPolicy {
+        max_retries: 4,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(50),
+        jitter_seed: 0xB0FF,
+    };
+    for job in [0u64, 1, 17, u64::MAX] {
+        for attempt in 1..=4u32 {
+            let a = policy.backoff(job, attempt);
+            let b = policy.backoff(job, attempt);
+            assert_eq!(a, b, "deterministic for job {job} attempt {attempt}");
+            // base·2^(k−1) ≤ delay ≤ min(base·2^(k−1) + base, cap)
+            let floor = policy.base_backoff * (1 << (attempt - 1));
+            assert!(a >= floor.min(policy.max_backoff), "floor: {a:?}");
+            assert!(a <= policy.max_backoff, "cap: {a:?}");
+        }
+    }
+    // Different seeds move the jitter for at least one (job, attempt).
+    let other = RetryPolicy {
+        jitter_seed: 0xD00D,
+        ..policy
+    };
+    let moved = (0..64u64).any(|job| policy.backoff(job, 1) != other.backoff(job, 1));
+    assert!(moved, "jitter must depend on the seed");
+    // Zero base disables delay entirely.
+    let none = RetryPolicy {
+        base_backoff: Duration::ZERO,
+        ..policy
+    };
+    assert_eq!(none.backoff(3, 2), Duration::ZERO);
+}
+
+#[test]
+fn retried_traffic_digests_match_a_clean_run() {
+    // Differential acceptance: seeded traffic where a third of the jobs
+    // are panic- or cancel-faulted, retries on — EVERY job must finish
+    // Ok with the digest of the fault-free run, faulted ones with
+    // attempts > 1.
+    let count = 30u64;
+    for round in 0..repeat() {
+        let mut plan = FaultPlan::none();
+        for i in (0..count).step_by(3) {
+            let fault = if i % 2 == 0 {
+                Fault::Panic {
+                    at_step: 1 + (round + i) % 16,
+                }
+            } else {
+                Fault::Cancel {
+                    at_step: 1 + (round + i) % 16,
+                }
+            };
+            plan = plan.inject(i, fault);
+        }
+
+        let run = |plan: FaultPlan, retries: u32| {
+            let service = JobService::start(ServeConfig {
+                tenants: 3,
+                tenant_budget: 2,
+                executors: 2,
+                queue_capacity: count as usize,
+                ..retrying_config(plan, retries)
+            });
+            let tickets: Vec<_> = (0..count)
+                .map(|i| {
+                    service
+                        .submit(JobSpec::new((i % 3) as usize, job_body(i)))
+                        .expect("capacity sized to count")
+                })
+                .collect();
+            let reports: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+            let stats = service.shutdown();
+            (reports, stats)
+        };
+
+        let (clean, _) = run(FaultPlan::none(), 0);
+        let (healed, stats) = run(plan.clone(), 2);
+        for (c, h) in clean.iter().zip(&healed) {
+            assert_eq!(h.outcome, c.outcome, "job {} round {round}", c.job);
+            if plan.fault_for(c.job).is_some() {
+                assert!(h.attempts > 1, "faulted job {} must retry", c.job);
+            } else {
+                assert_eq!(h.attempts, 1, "clean job {} must not retry", c.job);
+            }
+        }
+        assert_eq!(stats.completed, count, "round {round}: all heal to Ok");
+        assert_eq!(stats.retries, plan.len() as u64, "round {round}");
+        assert_eq!(stats.panicked + stats.cancelled, 0, "round {round}");
+    }
+}
+
+/// Poll the service's pool health until `ok` holds, failing after 10s.
+fn wait_degraded(service: &JobService, alive: usize) {
+    let start = Instant::now();
+    while service.health().alive_workers != alive {
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "pool never degraded to {alive} alive; last {:?}",
+            service.health()
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn degraded_pool_sheds_submissions_while_admitted_work_drains() {
+    // Worker 1 dies after its first stolen task; no respawn.  The
+    // trigger job's scan feeds it that task, so everything submitted
+    // before the trigger completes is admitted against a healthy pool.
+    let service = JobService::start(ServeConfig {
+        processors: 2,
+        executors: 1,
+        queue_capacity: 32,
+        chaos: ChaosConfig::none().kill(1, 1),
+        self_heal: SelfHeal::Degrade,
+        min_alive_processors: 2,
+        ..ServeConfig::default()
+    });
+    let tickets: Vec<_> = (0..6)
+        .map(|i| {
+            service
+                .submit(JobSpec::new(0, job_body(i)))
+                .expect("healthy pool admits")
+        })
+        .collect();
+    // Admitted work drains to completion on the survivors even though
+    // the kill fires mid-traffic.
+    for t in tickets {
+        assert!(t.wait().outcome.is_ok());
+    }
+    wait_degraded(&service, 1);
+    // Below the floor: new work is shed with the live numbers.
+    match service.submit(JobSpec::new(0, job_body(99))) {
+        Err(SubmitError::Degraded { alive, floor }) => {
+            assert_eq!((alive, floor), (1, 2));
+        }
+        other => panic!("expected Degraded, got {other:?}"),
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.shed_degraded, 1);
+    assert_eq!(stats.completed, 6);
+}
+
+#[test]
+fn shutdown_drains_the_queue_under_a_chaos_kill() {
+    // Satellite: graceful shutdown must drain every queued job even
+    // while the pool is degrading underneath the executors.
+    let service = JobService::start(ServeConfig {
+        processors: 2,
+        executors: 1,
+        queue_capacity: 32,
+        chaos: ChaosConfig::none().kill(1, 1),
+        self_heal: SelfHeal::Degrade,
+        ..ServeConfig::default()
+    });
+    let tickets: Vec<_> = (0..8)
+        .map(|i| service.submit(JobSpec::new(0, job_body(i))).unwrap())
+        .collect();
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 8, "shutdown drained every queued job");
+    for t in tickets {
+        assert!(t.try_report().expect("drained").outcome.is_ok());
+    }
+}
+
+#[test]
+fn fairness_ratio_edge_cases() {
+    // Satellite: the degenerate shapes of the fairness number.
+    let stats = |per_tenant: Vec<u64>| lopram_serve::ServiceStats {
+        submitted: 0,
+        rejected: 0,
+        completed: per_tenant.iter().sum(),
+        panicked: 0,
+        cancelled: 0,
+        deadline_exceeded: 0,
+        queue_peak: 0,
+        retries: 0,
+        shed_degraded: 0,
+        per_tenant_completed: per_tenant,
+    };
+    // Nothing finished at all: perfectly fair by definition.
+    let zero = stats(vec![0, 0, 0]);
+    assert_eq!(zero.finished(), 0);
+    assert_eq!(zero.fairness_ratio(), 1.0);
+    // No tenants configured at all (empty vector).
+    assert_eq!(stats(vec![]).fairness_ratio(), 1.0);
+    // A single tenant can only be fair to itself.
+    assert_eq!(stats(vec![5]).fairness_ratio(), 1.0);
+    // A starved tenant while another completed: infinite unfairness.
+    assert_eq!(stats(vec![5, 0]).fairness_ratio(), f64::INFINITY);
+    // The plain ratio otherwise.
+    assert_eq!(stats(vec![4, 2]).fairness_ratio(), 2.0);
+}
+
+#[test]
+fn submit_and_job_errors_propagate_through_question_mark() -> Result<(), Box<dyn Error>> {
+    // Satellite: both error types thread through `?` as
+    // `Box<dyn Error>` — the std::error::Error impls are load-bearing.
+    fn misuse(service: &JobService) -> Result<(), Box<dyn Error>> {
+        service.submit(JobSpec::new(99, |_cx| 0))?;
+        Ok(())
+    }
+    let service = JobService::start(ServeConfig::default());
+    let err = misuse(&service).expect_err("tenant 99 does not exist");
+    assert_eq!(err.to_string(), "unknown tenant 99");
+
+    let report = service
+        .submit(JobSpec::new(0, |_cx| panic!("kaboom")))?
+        .wait();
+    let job_err: Box<dyn Error> = Box::new(report.outcome.expect_err("panicked"));
+    assert!(job_err.to_string().contains("kaboom"));
+    service.shutdown();
+    Ok(())
+}

@@ -144,6 +144,27 @@ impl Condvar {
         guard.inner = Some(std_guard);
     }
 
+    /// Atomically release the lock behind `guard` and block until notified
+    /// or until `timeout` elapsed; the lock is re-acquired before
+    /// returning.  The result reports whether the wait timed out (which,
+    /// as with the real crate, says nothing about the condition itself —
+    /// re-check it either way).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard present outside wait");
+        let (std_guard, result) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
     /// Wake one thread blocked on this condition variable.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -158,6 +179,21 @@ impl Condvar {
 impl fmt::Debug for Condvar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// Result of [`Condvar::wait_for`], mirroring
+/// `parking_lot::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended because the timeout elapsed rather than
+    /// a notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
@@ -201,6 +237,39 @@ mod tests {
                 cv.wait(&mut ready);
             }
             *ready
+        });
+        thread::sleep(Duration::from_millis(10));
+        let (lock, cv) = &*pair;
+        *lock.lock() = true;
+        cv.notify_all();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out_and_reacquires() {
+        let pair = (Mutex::new(0u32), Condvar::new());
+        let (lock, cv) = &pair;
+        let mut guard = lock.lock();
+        let result = cv.wait_for(&mut guard, Duration::from_millis(5));
+        assert!(result.timed_out());
+        // The lock was re-acquired: the guard is usable.
+        *guard += 1;
+        assert_eq!(*guard, 1);
+    }
+
+    #[test]
+    fn condvar_wait_for_wakes_on_notify_before_timeout() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waiter = thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                if cv.wait_for(&mut ready, Duration::from_secs(10)).timed_out() {
+                    return false;
+                }
+            }
+            true
         });
         thread::sleep(Duration::from_millis(10));
         let (lock, cv) = &*pair;

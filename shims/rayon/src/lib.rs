@@ -41,8 +41,9 @@
 //! # Sleeping and waking
 //!
 //! Idle workers do not spin and are not herded through one condvar.  A
-//! worker with nothing to do publishes itself in a **sleep bitmap** (one
-//! `AtomicU64`, bit *i* = worker *i* is parked), re-checks the queues (so a
+//! worker with nothing to do publishes itself in a **sleep bitmap** (a
+//! `SleepSet`: one `AtomicU64` word per 64 workers, bit *i* mod 64 of
+//! word *i* / 64 = worker *i* is parked), re-checks the queues (so a
 //! push racing with the announcement is never lost past one
 //! `IDLE_POLL`), and parks with a timeout.  Every push wakes **exactly
 //! one** sleeper: the pusher claims a set bit with a `fetch_and` and
@@ -51,6 +52,31 @@
 //! that is deliberately woken but finds no task (another worker got there
 //! first) increments the `spurious_wakeups` counter in [`PoolStats`].
 //! Completion latches unpark their single owner thread directly.
+//!
+//! # Health, chaos and self-healing
+//!
+//! Every worker bumps a per-worker **heartbeat** (milliseconds since pool
+//! start) at the top of its loop and around parks; [`ThreadPool::health`]
+//! snapshots them into a [`PoolHealth`] together with the alive/dead state
+//! of each worker.  Deterministic scheduler-level faults can be injected
+//! with a [`ChaosConfig`] on the builder: kill a chosen worker between
+//! jobs (its loop exits cooperatively), drop or delay a chosen wakeup
+//! notification, or force extra steal-retry rounds — the *rule* deciding
+//! where each fault fires is a pure function of the configuration (and,
+//! via [`ChaosConfig::seeded`], of one seed), so a failure replays exactly
+//! under the same schedule.  A dead worker first drains its own deque into
+//! the injector (no pending task is ever stranded) and parks its deque's
+//! owner end in the registry.  Recovery is governed by [`SelfHeal`]:
+//! either a **supervisor** path — run from idle workers and from external
+//! waiters — respawns a replacement thread onto the same index and deque,
+//! or the pool **degrades**: the dead worker's sleep bit stays clear, it
+//! is excluded as a steal victim, and `alive_workers` shrinks so callers
+//! (e.g. `PalPool` in `lopram-core`) can recompute the §3.1 cutoff for
+//! the effective processor count.  External latch waits are bounded by
+//! `IDLE_POLL` and supervise between parks, so `join`/`install` complete
+//! (no infinite park) even after a chaos kill; with *every* worker dead
+//! under [`SelfHeal::Degrade`], the external caller executes injected
+//! work itself as a last resort rather than hang.
 //!
 //! Calls from threads that are not pool workers (`install`, `join`, the end
 //! of `in_place_scope`) ship the work into the pool and block the calling
@@ -91,20 +117,15 @@ use std::rc::Rc;
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::thread::{self, Thread};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use deque::Steal;
 
-/// How long an idle or latch-waiting worker parks before re-polling the
-/// deques when no wake-up arrives.  All worker parks are bounded by this, so
-/// a lost wake-up costs latency, never a deadlock.  (External threads
-/// blocked on a latch park unbounded: their latch unparks them directly.)
+/// How long an idle or latch-waiting thread parks before re-polling the
+/// deques when no wake-up arrives.  All parks — worker *and* external — are
+/// bounded by this, so a lost wake-up (or a dead notifier) costs latency,
+/// never a deadlock.
 const IDLE_POLL: Duration = Duration::from_micros(500);
-
-/// Number of workers the sleep bitmap can address.  Workers with a higher
-/// index (pools wider than 64 — far beyond `p = O(log n)`) skip the bitmap
-/// and rely on the `IDLE_POLL` timeout alone.
-const SLEEP_BITS: usize = u64::BITS as usize;
 
 /// Lock a mutex, ignoring poisoning (tasks catch their own panics, but be
 /// defensive: a poisoned queue is still a valid queue).
@@ -112,6 +133,214 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// SleepSet: multi-word sleep bitmap addressing any number of workers.
+// ---------------------------------------------------------------------------
+
+/// The sleep bitmap of a pool: bit `i % 64` of word `i / 64` is set while
+/// worker `i` is announcing a park.  One `AtomicU64` word covers 64 workers;
+/// the set allocates `ceil(threads / 64)` words, so **every** worker — not
+/// just the first 64 — can receive a deliberate one-sleeper wake-up.
+/// (Previously a single word left workers with `index >= 64` reachable only
+/// through the `IDLE_POLL` timeout.)
+struct SleepSet {
+    words: Box<[AtomicU64]>,
+}
+
+impl SleepSet {
+    fn new(threads: usize) -> Self {
+        let words = threads.div_ceil(u64::BITS as usize).max(1);
+        SleepSet {
+            words: (0..words).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Announce worker `index` as parking (publish its bit).
+    fn announce(&self, index: usize) {
+        let bit = 1u64 << (index % 64);
+        self.words[index / 64].fetch_or(bit, Ordering::SeqCst);
+    }
+
+    /// Withdraw worker `index`'s announcement.  Returns `true` when the bit
+    /// was already gone — i.e. a notifier claimed it, making the wake-up
+    /// deliberate.
+    fn retract(&self, index: usize) -> bool {
+        let bit = 1u64 << (index % 64);
+        self.words[index / 64].fetch_and(!bit, Ordering::SeqCst) & bit == 0
+    }
+
+    /// Claim exactly one announced sleeper, if any; the caller becomes the
+    /// only notifier allowed to unpark that worker.
+    fn claim_one(&self) -> Option<usize> {
+        for (w, word) in self.words.iter().enumerate() {
+            loop {
+                let map = word.load(Ordering::SeqCst);
+                if map == 0 {
+                    break;
+                }
+                let index = map.trailing_zeros() as usize;
+                let bit = 1u64 << index;
+                if word.fetch_and(!bit, Ordering::SeqCst) & bit != 0 {
+                    return Some(w * 64 + index);
+                }
+                // Lost the race for this bit; rescan the word.
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos, self-healing and health: deterministic scheduler faults + recovery.
+// ---------------------------------------------------------------------------
+
+/// Deterministic scheduler-fault injection, set on
+/// [`ThreadPoolBuilder::chaos`].  Every trigger rule below is a pure
+/// function of this configuration — no clock, no RNG at fire time — so the
+/// same config over the same schedule fires the same faults.  (Which
+/// schedule *occurs* still depends on real thread interleaving; the
+/// determinism contract is about the rule, not the interleaving.)
+///
+/// The default configuration fires nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Kill this worker: its loop exits cooperatively between jobs (after
+    /// draining its deque into the injector, so no pending task is lost).
+    pub kill_worker: Option<usize>,
+    /// The kill fires once the chosen worker has executed at least this
+    /// many tasks in its first incarnation (0 = first idle moment).
+    pub kill_after_tasks: u64,
+    /// Drop the n-th deliberate wake-up (1-based; 0 = never): the claimed
+    /// sleeper is *not* unparked.  Safe by construction — worker parks are
+    /// bounded by `IDLE_POLL`, so the victim recovers on its next poll; the
+    /// fault costs latency and is visible in `PoolStats::dropped_wakeups`.
+    pub drop_wakeup_nth: u64,
+    /// Delay the n-th deliberate wake-up (1-based; 0 = never) by spinning
+    /// ~50µs before the unpark.
+    pub delay_wakeup_nth: u64,
+    /// Before each steal attempt, spin through this many forced retry
+    /// rounds (as if the victim's deque kept reporting `Steal::Retry`).
+    pub steal_retries: u32,
+}
+
+impl ChaosConfig {
+    /// A configuration that fires nothing (same as `Default`).
+    pub fn none() -> Self {
+        ChaosConfig::default()
+    }
+
+    /// Derive a full fault mix from one seed — a pure function (splitmix64
+    /// over the seed), so a seed observed to break something replays
+    /// exactly.  Always kills one worker; wake-up faults and steal retries
+    /// vary with the seed.
+    pub fn seeded(seed: u64, threads: usize) -> Self {
+        fn mix(mut z: u64) -> u64 {
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let threads = threads.max(1);
+        ChaosConfig {
+            kill_worker: Some(mix(seed) as usize % threads),
+            kill_after_tasks: mix(seed ^ 1) % 64,
+            drop_wakeup_nth: 1 + mix(seed ^ 2) % 32,
+            delay_wakeup_nth: 1 + mix(seed ^ 3) % 32,
+            steal_retries: (mix(seed ^ 4) % 4) as u32,
+        }
+    }
+
+    /// Kill worker `index` after it executed `after_tasks` tasks.
+    pub fn kill(mut self, index: usize, after_tasks: u64) -> Self {
+        self.kill_worker = Some(index);
+        self.kill_after_tasks = after_tasks;
+        self
+    }
+
+    /// Drop the `nth` (1-based) deliberate wake-up notification.
+    pub fn drop_wakeup(mut self, nth: u64) -> Self {
+        self.drop_wakeup_nth = nth;
+        self
+    }
+
+    /// Delay the `nth` (1-based) deliberate wake-up notification.
+    pub fn delay_wakeup(mut self, nth: u64) -> Self {
+        self.delay_wakeup_nth = nth;
+        self
+    }
+
+    /// Force `rounds` spin retries before every steal attempt.
+    pub fn force_steal_retries(mut self, rounds: u32) -> Self {
+        self.steal_retries = rounds;
+        self
+    }
+
+    /// Whether any fault can fire under this configuration.
+    pub fn is_active(&self) -> bool {
+        *self != ChaosConfig::default()
+    }
+}
+
+/// What the pool does about a dead worker; see
+/// [`ThreadPoolBuilder::self_heal`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SelfHeal {
+    /// Supervisors (idle workers and external waiters) respawn a
+    /// replacement thread onto the dead worker's index and deque.
+    #[default]
+    Respawn,
+    /// The worker stays dead and the pool degrades: its sleep bit stays
+    /// clear, it is excluded as a steal victim, and
+    /// [`PoolHealth::alive_workers`] shrinks so callers can re-throttle
+    /// for the effective processor count.
+    Degrade,
+}
+
+/// A point-in-time liveness snapshot of a pool; see [`ThreadPool::health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolHealth {
+    /// Worker slots the pool was built with (`num_threads`).
+    pub workers: usize,
+    /// Workers currently alive (spawned and not killed).
+    pub alive_workers: usize,
+    /// Total worker deaths over the pool's lifetime.
+    pub killed: u64,
+    /// Total respawns over the pool's lifetime.
+    pub respawned: u64,
+    /// Per-worker liveness, indexed by worker slot.
+    pub alive: Vec<bool>,
+    /// Per-worker last heartbeat, in milliseconds since the pool started.
+    /// A worker beats at the top of its loop and around every park.
+    pub last_beat_ms: Vec<u64>,
+    /// Milliseconds since the pool started, taken with the snapshot — the
+    /// reference point for [`PoolHealth::stalled`].
+    pub now_ms: u64,
+}
+
+impl PoolHealth {
+    /// `true` when at least one worker slot is dead.
+    pub fn is_degraded(&self) -> bool {
+        self.alive_workers < self.workers
+    }
+
+    /// Indices of dead worker slots.
+    pub fn dead_workers(&self) -> Vec<usize> {
+        (0..self.workers).filter(|&i| !self.alive[i]).collect()
+    }
+
+    /// Indices of *alive* workers whose last heartbeat is older than
+    /// `threshold` — likely wedged in user code (a dead worker is reported
+    /// by [`PoolHealth::dead_workers`], not here).
+    pub fn stalled(&self, threshold: Duration) -> Vec<usize> {
+        let threshold_ms = threshold.as_millis() as u64;
+        (0..self.workers)
+            .filter(|&i| {
+                self.alive[i] && self.now_ms.saturating_sub(self.last_beat_ms[i]) > threshold_ms
+            })
+            .collect()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -169,12 +398,30 @@ impl WakeLatch {
         };
     }
 
-    /// Block (unbounded park) until set — for non-worker threads, which must
-    /// not execute pool work.  The owner's unpark token makes the
-    /// set-before-park race benign.
-    fn wait_parked(&self) {
+    /// Block until set — for non-worker threads, which normally do not
+    /// execute pool work.  The owner's unpark token makes the
+    /// set-before-park race benign; the park is additionally bounded by
+    /// `IDLE_POLL` with a supervision pass per wake, so the wait completes
+    /// even when the worker that should set the latch died: under
+    /// [`SelfHeal::Respawn`] the waiter itself respawns the replacement,
+    /// and under [`SelfHeal::Degrade`] with *every* worker dead the waiter
+    /// executes injected work directly — a documented degenerate
+    /// sequential mode — rather than park forever.
+    fn wait_supervised(&self, registry: &Arc<Registry>) {
         while !self.probe() {
-            thread::park();
+            registry.supervise();
+            if registry.alive_count.load(Ordering::Relaxed) == 0
+                && !registry.terminate.load(Ordering::Acquire)
+            {
+                // No processor is left and none is coming back: last
+                // resort, the caller becomes the processor.
+                let job = lock(&registry.injector).pop_front();
+                if let Some(job) = job {
+                    registry.execute(job, TaskSource::Injector);
+                    continue;
+                }
+            }
+            thread::park_timeout(IDLE_POLL);
         }
     }
 }
@@ -334,9 +581,11 @@ struct Registry {
     injector: Mutex<VecDeque<JobRef>>,
     /// Bit `i` set ⇔ worker `i` announced it is parking.  Pushers claim one
     /// bit and unpark exactly that worker.
-    sleep_bitmap: AtomicU64,
-    /// Unpark handles of the workers, filled in by each worker at startup.
-    handles: Vec<OnceLock<Thread>>,
+    sleep: SleepSet,
+    /// Unpark handles of the workers, set by each (re)spawned incarnation
+    /// and cleared on death.  Mutexed (not `OnceLock`) so a respawn can
+    /// install the replacement thread's handle.
+    handles: Vec<Mutex<Option<Thread>>>,
     terminate: AtomicBool,
     /// Tasks stolen from another worker's deque (migrations).
     stolen: AtomicU64,
@@ -347,6 +596,33 @@ struct Registry {
     /// Deliberate wake-ups that found no task to run (another worker got
     /// there first).
     spurious: AtomicU64,
+    /// When the pool started; heartbeats are milliseconds since this.
+    epoch: Instant,
+    /// Per-worker heartbeat: milliseconds since `epoch` at the worker's
+    /// last loop top / park boundary.  Relaxed — a watchdog reading, not a
+    /// synchronization edge.
+    beats: Vec<AtomicU64>,
+    /// Per-worker liveness.  A dying worker drains its deque and parks it
+    /// in `orphans` *before* clearing its flag, so a cleared flag implies
+    /// no task is stranded behind it.
+    alive: Vec<AtomicBool>,
+    alive_count: AtomicUsize,
+    killed: AtomicU64,
+    respawned: AtomicU64,
+    /// Owner ends of dead workers' deques, parked here by the death
+    /// protocol; `take()`-ing a slot is a supervisor's claim to respawn
+    /// that worker (at most one replacement per death).
+    orphans: Vec<Mutex<Option<deque::Worker<JobRef>>>>,
+    /// Join handles of respawned workers, reaped by `ThreadPool::drop`.
+    extra_handles: Mutex<Vec<thread::JoinHandle<()>>>,
+    chaos: ChaosConfig,
+    self_heal: SelfHeal,
+    /// Sequence number of deliberate wake-ups, driving the chaos
+    /// drop/delay-nth rules.  Only advanced while chaos is active.
+    wakeup_seq: AtomicU64,
+    dropped_wakeups: AtomicU64,
+    delayed_wakeups: AtomicU64,
+    forced_steal_retries: AtomicU64,
 }
 
 /// Everything a worker thread needs: the shared registry, its index, and
@@ -379,30 +655,96 @@ impl Registry {
     /// `notify_all` thundering herd.  The `SeqCst` fence pairs with the
     /// sleeper's `fetch_or`: either the pusher sees the sleeper's bit, or
     /// the sleeper's post-announcement queue re-check sees the pushed task.
+    ///
+    /// With chaos active, the n-th deliberate wake-up can be dropped (the
+    /// claimed sleeper is not unparked — it recovers at its next
+    /// `IDLE_POLL`) or delayed.
     fn notify_one(&self) {
         fence(Ordering::SeqCst);
-        loop {
-            let map = self.sleep_bitmap.load(Ordering::SeqCst);
-            if map == 0 {
+        let Some(index) = self.sleep.claim_one() else {
+            return;
+        };
+        // Claimed: we are the only notifier that unparks this worker.
+        if self.chaos.drop_wakeup_nth != 0 || self.chaos.delay_wakeup_nth != 0 {
+            let nth = self.wakeup_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            if self.chaos.drop_wakeup_nth == nth {
+                self.dropped_wakeups.fetch_add(1, Ordering::Relaxed);
                 return;
             }
-            let index = map.trailing_zeros() as usize;
-            let bit = 1u64 << index;
-            if self.sleep_bitmap.fetch_and(!bit, Ordering::SeqCst) & bit != 0 {
-                // Claimed: we are the only notifier that unparks this worker.
-                if let Some(handle) = self.handles[index].get() {
-                    handle.unpark();
+            if self.chaos.delay_wakeup_nth == nth {
+                self.delayed_wakeups.fetch_add(1, Ordering::Relaxed);
+                let start = Instant::now();
+                while start.elapsed() < Duration::from_micros(50) {
+                    std::hint::spin_loop();
                 }
-                return;
             }
-            // The chosen worker woke (or was claimed) in the meantime; pick
-            // another sleeper.
+        }
+        self.unpark_worker(index);
+    }
+
+    fn unpark_worker(&self, index: usize) {
+        if let Some(thread) = &*lock(&self.handles[index]) {
+            thread.unpark();
         }
     }
 
     fn inject(&self, job: JobRef) {
         lock(&self.injector).push_back(job);
         self.notify_one();
+    }
+
+    /// Supervisor pass: respawn dead workers (under [`SelfHeal::Respawn`]).
+    /// Run from idle workers before parking and from external waiters
+    /// between bounded parks, so detection needs no dedicated watchdog
+    /// thread.  The fast path — nobody dead — is two relaxed loads.
+    fn supervise(self: &Arc<Self>) {
+        if self.alive_count.load(Ordering::Relaxed) == self.threads
+            || self.terminate.load(Ordering::Acquire)
+            || self.self_heal != SelfHeal::Respawn
+        {
+            return;
+        }
+        for index in 0..self.threads {
+            if self.alive[index].load(Ordering::Acquire) {
+                continue;
+            }
+            // Taking the orphaned deque is the claim: exactly one
+            // supervisor respawns each death.
+            let Some(worker) = lock(&self.orphans[index]).take() else {
+                continue;
+            };
+            let generation = self.respawned.fetch_add(1, Ordering::Relaxed) + 1;
+            self.alive[index].store(true, Ordering::Release);
+            self.alive_count.fetch_add(1, Ordering::Relaxed);
+            let registry = Arc::clone(self);
+            let handle = thread::Builder::new()
+                .name(format!("rayon-respawn-{index}-g{generation}"))
+                .spawn(move || worker_main(registry, index, worker, generation))
+                .expect("failed to respawn pool worker thread");
+            lock(&self.extra_handles).push(handle);
+        }
+    }
+
+    /// Snapshot the per-worker heartbeats and liveness; see
+    /// [`ThreadPool::health`].
+    fn health(&self) -> PoolHealth {
+        PoolHealth {
+            workers: self.threads,
+            alive_workers: self.alive_count.load(Ordering::Relaxed),
+            killed: self.killed.load(Ordering::Relaxed),
+            respawned: self.respawned.load(Ordering::Relaxed),
+            alive: self
+                .alive
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            last_beat_ms: self
+                .beats
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            now_ms: self.epoch.elapsed().as_millis() as u64,
+        }
     }
 
     /// Execute a job, attributing it in the pool statistics.
@@ -424,10 +766,18 @@ impl Registry {
 }
 
 impl WorkerCtx {
+    /// Bump this worker's heartbeat (milliseconds since pool start).
+    fn beat(&self) {
+        let now = self.registry.epoch.elapsed().as_millis() as u64;
+        self.registry.beats[self.index].store(now, Ordering::Relaxed);
+    }
+
     /// Take one pending task.  Priority: own deque bottom (newest — the
     /// cache-warm fast path for popping one's own fork back), then the
     /// injector front, then the other workers' tops — i.e. thieves always
-    /// take the **oldest** pending task of a victim first.
+    /// take the **oldest** pending task of a victim first.  Dead workers
+    /// are skipped as victims (their deques were drained into the injector
+    /// by the death protocol, so nothing hides behind them).
     fn find_job(&self) -> Option<(JobRef, TaskSource)> {
         if let Some(job) = self.worker.pop() {
             return Some((job, TaskSource::Own));
@@ -437,6 +787,20 @@ impl WorkerCtx {
         }
         for offset in 1..self.registry.threads {
             let victim = (self.index + offset) % self.registry.threads;
+            if !self.registry.alive[victim].load(Ordering::Acquire) {
+                continue;
+            }
+            if self.registry.chaos.steal_retries != 0 {
+                // Chaos: behave as if the victim reported `Steal::Retry`
+                // this many times before the real attempt.
+                self.registry.forced_steal_retries.fetch_add(
+                    u64::from(self.registry.chaos.steal_retries),
+                    Ordering::Relaxed,
+                );
+                for _ in 0..self.registry.chaos.steal_retries {
+                    std::hint::spin_loop();
+                }
+            }
             loop {
                 match self.registry.stealers[victim].steal() {
                     Steal::Success(job) => return Some((job, TaskSource::Theft)),
@@ -451,23 +815,24 @@ impl WorkerCtx {
     /// Announce this worker in the sleep bitmap, re-check the queues, and
     /// park (bounded by `IDLE_POLL`).  Returns `true` when the wake was a
     /// deliberate notification (our bit was claimed by someone else).
+    ///
+    /// Doubles as the pool's supervision point: an idle worker about to
+    /// park first checks for dead siblings to respawn.
     fn park_idle(&self) -> bool {
-        let registry = &*self.registry;
-        if self.index >= SLEEP_BITS {
-            thread::park_timeout(IDLE_POLL);
-            return false;
-        }
-        let bit = 1u64 << self.index;
-        registry.sleep_bitmap.fetch_or(bit, Ordering::SeqCst);
+        let registry = &self.registry;
+        self.beat();
+        registry.supervise();
+        registry.sleep.announce(self.index);
         // Dekker re-check: a task pushed before our bit became visible was
         // notified to nobody; look once more before actually sleeping.
         if let Some((job, source)) = self.find_job() {
-            registry.sleep_bitmap.fetch_and(!bit, Ordering::SeqCst);
+            registry.sleep.retract(self.index);
             registry.execute(job, source);
             return false;
         }
         thread::park_timeout(IDLE_POLL);
-        registry.sleep_bitmap.fetch_and(!bit, Ordering::SeqCst) & bit == 0
+        self.beat();
+        registry.sleep.retract(self.index)
     }
 
     /// Help-first wait: execute pending tasks until `latch` is set.  This is
@@ -477,6 +842,7 @@ impl WorkerCtx {
             if latch.probe() {
                 return;
             }
+            self.beat();
             match self.find_job() {
                 Some((job, source)) => self.registry.execute(job, source),
                 // Nothing to help with: park briefly.  The latch owner is
@@ -490,8 +856,55 @@ impl WorkerCtx {
     }
 }
 
-fn worker_main(registry: Arc<Registry>, index: usize, worker: deque::Worker<JobRef>) {
-    registry.handles[index].get_or_init(thread::current);
+/// Cooperative worker death (chaos kill): make every pending task of this
+/// worker reachable again, park the deque for a possible respawn, and only
+/// then publish the death.  Ordering matters — by the time `alive[index]`
+/// reads `false`, the deque is empty, so thieves skipping a dead victim can
+/// never strand a task.
+fn worker_die(ctx: Rc<WorkerCtx>) {
+    let registry = Arc::clone(&ctx.registry);
+    let index = ctx.index;
+    // 1. Drain the deque into the injector, preserving creation order.
+    let mut drained = Vec::new();
+    while let Some(job) = ctx.worker.pop() {
+        drained.push(job);
+    }
+    if !drained.is_empty() {
+        let mut injector = lock(&registry.injector);
+        // Popped newest-first; reverse back to oldest-first (§3.1 order).
+        injector.extend(drained.into_iter().rev());
+    }
+    // 2. Recover the deque's owner end and park it for a supervisor.
+    WORKER.with(|w| *w.borrow_mut() = None);
+    let worker = match Rc::try_unwrap(ctx) {
+        Ok(ctx) => ctx.worker,
+        Err(_) => unreachable!("worker ctx has no clones between jobs"),
+    };
+    *lock(&registry.orphans[index]) = Some(worker);
+    // 3. Publish the death.
+    *lock(&registry.handles[index]) = None;
+    registry.sleep.retract(index);
+    registry.alive[index].store(false, Ordering::Release);
+    registry.alive_count.fetch_sub(1, Ordering::Relaxed);
+    registry.killed.fetch_add(1, Ordering::Relaxed);
+    // 4. Wake a sibling so drained work (and supervision) happens promptly.
+    registry.notify_one();
+}
+
+fn worker_main(
+    registry: Arc<Registry>,
+    index: usize,
+    worker: deque::Worker<JobRef>,
+    generation: u64,
+) {
+    *lock(&registry.handles[index]) = Some(thread::current());
+    let kill_at = match registry.chaos.kill_worker {
+        // Only the first incarnation is killable, else a respawned worker
+        // would just die again forever.
+        Some(victim) if victim == index && generation == 0 => Some(registry.chaos.kill_after_tasks),
+        _ => None,
+    };
+    let mut executed: u64 = 0;
     let ctx = Rc::new(WorkerCtx {
         registry,
         index,
@@ -500,12 +913,18 @@ fn worker_main(registry: Arc<Registry>, index: usize, worker: deque::Worker<JobR
     WORKER.with(|w| *w.borrow_mut() = Some(Rc::clone(&ctx)));
     let mut notified = false;
     loop {
+        ctx.beat();
         if ctx.registry.terminate.load(Ordering::Acquire) {
             break;
+        }
+        if kill_at.is_some_and(|at| executed >= at) {
+            worker_die(ctx);
+            return;
         }
         match ctx.find_job() {
             Some((job, source)) => {
                 notified = false;
+                executed += 1;
                 ctx.registry.execute(job, source);
             }
             None => {
@@ -525,6 +944,8 @@ fn worker_main(registry: Arc<Registry>, index: usize, worker: deque::Worker<JobR
 fn build_registry(
     threads: usize,
     mut name_fn: Box<dyn FnMut(usize) -> String>,
+    chaos: ChaosConfig,
+    self_heal: SelfHeal,
 ) -> (Arc<Registry>, Vec<thread::JoinHandle<()>>) {
     let mut owners = Vec::with_capacity(threads);
     let mut stealers = Vec::with_capacity(threads);
@@ -537,13 +958,27 @@ fn build_registry(
         threads,
         stealers,
         injector: Mutex::new(VecDeque::new()),
-        sleep_bitmap: AtomicU64::new(0),
-        handles: (0..threads).map(|_| OnceLock::new()).collect(),
+        sleep: SleepSet::new(threads),
+        handles: (0..threads).map(|_| Mutex::new(None)).collect(),
         terminate: AtomicBool::new(false),
         stolen: AtomicU64::new(0),
         inlined: AtomicU64::new(0),
         injected: AtomicU64::new(0),
         spurious: AtomicU64::new(0),
+        epoch: Instant::now(),
+        beats: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+        alive: (0..threads).map(|_| AtomicBool::new(true)).collect(),
+        alive_count: AtomicUsize::new(threads),
+        killed: AtomicU64::new(0),
+        respawned: AtomicU64::new(0),
+        orphans: (0..threads).map(|_| Mutex::new(None)).collect(),
+        extra_handles: Mutex::new(Vec::new()),
+        chaos,
+        self_heal,
+        wakeup_seq: AtomicU64::new(0),
+        dropped_wakeups: AtomicU64::new(0),
+        delayed_wakeups: AtomicU64::new(0),
+        forced_steal_retries: AtomicU64::new(0),
     });
     let handles = owners
         .into_iter()
@@ -552,7 +987,7 @@ fn build_registry(
             let registry = Arc::clone(&registry);
             thread::Builder::new()
                 .name(name_fn(index))
-                .spawn(move || worker_main(registry, index, worker))
+                .spawn(move || worker_main(registry, index, worker, 0))
                 .expect("failed to spawn pool worker thread")
         })
         .collect();
@@ -644,8 +1079,8 @@ where
     let job = StackJob::new(op);
     // The trampoline itself is not a pal-thread; don't count it.
     registry.inject(job.as_job_ref(false));
-    // Non-workers are not processors: park instead of stealing.
-    job.latch.wait_parked();
+    // Non-workers are not processors: park (supervised) instead of stealing.
+    job.latch.wait_supervised(registry);
     // SAFETY: latch set ⇒ the job ran and wrote its result.
     #[allow(unsafe_code)]
     match unsafe { job.take_result() } {
@@ -664,9 +1099,22 @@ where
     match current_worker_in(registry) {
         Some(ctx) => join_worker(&ctx, oper_a, oper_b),
         None => install_in(registry, move || {
-            let ctx =
-                current_worker_in(registry).expect("install trampoline runs on a pool worker");
-            join_worker(&ctx, oper_a, oper_b)
+            match current_worker_in(registry) {
+                Some(ctx) => join_worker(&ctx, oper_a, oper_b),
+                // Every worker is dead (degraded pool): the trampoline ran
+                // on the external caller itself, which cannot fork — run
+                // both closures sequentially.  `b`'s panic is surfaced only
+                // if `a` did not panic, matching `join_worker`'s order.
+                None => {
+                    let result_a = catch_unwind(AssertUnwindSafe(oper_a));
+                    let result_b = catch_unwind(AssertUnwindSafe(oper_b));
+                    match (result_a, result_b) {
+                        (Ok(ra), Ok(rb)) => (ra, rb),
+                        (Err(payload), _) => resume_unwind(payload),
+                        (_, Err(payload)) => resume_unwind(payload),
+                    }
+                }
+            }
         }),
     }
 }
@@ -680,6 +1128,8 @@ fn global_registry() -> &'static Arc<Registry> {
         let (registry, handles) = build_registry(
             default_parallelism(),
             Box::new(|i| format!("rayon-global-{i}")),
+            ChaosConfig::default(),
+            SelfHeal::default(),
         );
         drop(handles);
         registry
@@ -733,6 +1183,16 @@ pub struct PoolStats {
     /// waking this stays near zero; the old `notify_all` herd would have
     /// counted nearly `p − 1` of these per fork.
     pub spurious_wakeups: u64,
+    /// Workers killed by a chaos fault (see [`ChaosConfig::kill`]).
+    pub killed: u64,
+    /// Dead workers respawned by a supervisor (see [`SelfHeal::Respawn`]).
+    pub respawned: u64,
+    /// Deliberate wake-up notifications dropped by a chaos fault.
+    pub dropped_wakeups: u64,
+    /// Deliberate wake-up notifications delayed by a chaos fault.
+    pub delayed_wakeups: u64,
+    /// Steal-retry rounds forced by a chaos fault.
+    pub forced_steal_retries: u64,
 }
 
 /// A bounded work-stealing fork/join pool — the shim of `rayon::ThreadPool`.
@@ -762,7 +1222,20 @@ impl ThreadPool {
             inlined: self.registry.inlined.load(Ordering::Relaxed),
             injected: self.registry.injected.load(Ordering::Relaxed),
             spurious_wakeups: self.registry.spurious.load(Ordering::Relaxed),
+            killed: self.registry.killed.load(Ordering::Relaxed),
+            respawned: self.registry.respawned.load(Ordering::Relaxed),
+            dropped_wakeups: self.registry.dropped_wakeups.load(Ordering::Relaxed),
+            delayed_wakeups: self.registry.delayed_wakeups.load(Ordering::Relaxed),
+            forced_steal_retries: self.registry.forced_steal_retries.load(Ordering::Relaxed),
         }
+    }
+
+    /// Snapshot of this pool's worker liveness and heartbeats.  Also runs a
+    /// supervision pass first, so merely *observing* health of a
+    /// [`SelfHeal::Respawn`] pool kicks off pending respawns.
+    pub fn health(&self) -> PoolHealth {
+        self.registry.supervise();
+        self.registry.health()
     }
 
     /// Run two closures, potentially in parallel on this pool; see [`join`].
@@ -808,12 +1281,25 @@ impl Drop for ThreadPool {
         // the flag promptly (parked or not, IDLE_POLL bounds the wait).
         self.registry.terminate.store(true, Ordering::Release);
         for handle in &self.registry.handles {
-            if let Some(thread) = handle.get() {
+            if let Some(thread) = &*lock(handle) {
                 thread.unpark();
             }
         }
         for handle in self.handles.drain(..) {
             let _ = handle.join();
+        }
+        // Reap respawned workers too.  Loop: joining one could in principle
+        // race with a final supervise() pushing another (it cannot once
+        // `terminate` is set, but the loop makes that independent of
+        // supervise()'s internals).
+        loop {
+            let drained: Vec<_> = lock(&self.registry.extra_handles).drain(..).collect();
+            if drained.is_empty() {
+                break;
+            }
+            for handle in drained {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -827,10 +1313,15 @@ impl fmt::Debug for ThreadPool {
 }
 
 /// Builder for [`ThreadPool`] — the shim of `rayon::ThreadPoolBuilder`.
+/// The chaos/self-healing knobs ([`ThreadPoolBuilder::chaos`],
+/// [`ThreadPoolBuilder::self_heal`]) are extensions of this shim, not part
+/// of the real crate's API.
 #[derive(Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
     thread_name: Option<Box<dyn FnMut(usize) -> String>>,
+    chaos: ChaosConfig,
+    self_heal: SelfHeal,
 }
 
 impl ThreadPoolBuilder {
@@ -847,12 +1338,26 @@ impl ThreadPoolBuilder {
     }
 
     /// Name the persistent worker threads (applied at build time; workers
-    /// are created once, not per fork).
+    /// are created once, not per fork).  Respawned replacements synthesize
+    /// their own `rayon-respawn-{index}-g{generation}` names.
     pub fn thread_name<F>(mut self, name_fn: F) -> Self
     where
         F: FnMut(usize) -> String + 'static,
     {
         self.thread_name = Some(Box::new(name_fn));
+        self
+    }
+
+    /// Inject deterministic scheduler faults; see [`ChaosConfig`].
+    pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// What to do about dead workers; see [`SelfHeal`].  Defaults to
+    /// [`SelfHeal::Respawn`].
+    pub fn self_heal(mut self, self_heal: SelfHeal) -> Self {
+        self.self_heal = self_heal;
         self
     }
 
@@ -867,7 +1372,7 @@ impl ThreadPoolBuilder {
         let name_fn = self
             .thread_name
             .unwrap_or_else(|| Box::new(|i| format!("rayon-worker-{i}")));
-        let (registry, handles) = build_registry(threads, name_fn);
+        let (registry, handles) = build_registry(threads, name_fn, self.chaos, self.self_heal);
         Ok(ThreadPool { registry, handles })
     }
 }
@@ -995,7 +1500,7 @@ where
     state.task_finished();
     match current_worker_in(&state.registry) {
         Some(ctx) => ctx.wait_help(&state.latch),
-        None => state.latch.wait_parked(),
+        None => state.latch.wait_supervised(&state.registry),
     }
     let stashed = lock(&state.panic).take();
     match result {
@@ -1299,5 +1804,250 @@ mod tests {
         let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
         let (a, b) = outer.join(|| inner.join(|| 1, || 2), || inner.install(|| 10));
         assert_eq!((a, b), ((1, 2), 10));
+    }
+
+    // -- sleep set, health, chaos ------------------------------------------
+
+    #[test]
+    fn sleep_set_addresses_indices_beyond_64() {
+        // Regression for the old single-word bitmap: workers with
+        // index >= 64 could never be claimed for a deliberate wake-up.
+        let set = SleepSet::new(70);
+        assert_eq!(set.words.len(), 2);
+        set.announce(65);
+        assert_eq!(set.claim_one(), Some(65));
+        assert_eq!(set.claim_one(), None);
+        // Lower words are still scanned first.
+        set.announce(65);
+        set.announce(3);
+        assert_eq!(set.claim_one(), Some(3));
+        assert_eq!(set.claim_one(), Some(65));
+    }
+
+    #[test]
+    fn sleep_set_retract_reports_claims() {
+        let set = SleepSet::new(128);
+        set.announce(100);
+        // Bit still present: the retract itself removes it — not claimed.
+        assert!(!set.retract(100));
+        set.announce(100);
+        assert_eq!(set.claim_one(), Some(100));
+        // Bit already gone: a notifier claimed it — deliberate wake-up.
+        assert!(set.retract(100));
+    }
+
+    #[test]
+    fn wide_pool_runs_forks_on_high_index_workers() {
+        // 66 workers: indices 64 and 65 exist beyond the first bitmap word.
+        // Before the SleepSet they only woke via IDLE_POLL; either way the
+        // pool must complete fork trees with exact accounting.
+        let pool = ThreadPoolBuilder::new().num_threads(66).build().unwrap();
+        fn fanout(pool: &ThreadPool, depth: usize) {
+            if depth == 0 {
+                return;
+            }
+            pool.join(|| fanout(pool, depth - 1), || fanout(pool, depth - 1));
+        }
+        pool.install(|| fanout(&pool, 8)); // 255 forks
+        let stats = pool.stats();
+        assert_eq!(stats.stolen + stats.inlined, 255);
+    }
+
+    #[test]
+    fn chaos_seeded_is_a_pure_function_of_the_seed() {
+        let a = ChaosConfig::seeded(42, 4);
+        let b = ChaosConfig::seeded(42, 4);
+        assert_eq!(a, b);
+        assert!(a.is_active());
+        assert!(a.kill_worker.unwrap() < 4);
+        assert!(a.drop_wakeup_nth >= 1 && a.delay_wakeup_nth >= 1);
+        assert!(!ChaosConfig::none().is_active());
+    }
+
+    #[test]
+    fn health_snapshot_reports_live_heartbeats() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.join(|| 1, || 2);
+        let health = pool.health();
+        assert_eq!(health.workers, 2);
+        assert_eq!(health.alive_workers, 2);
+        assert!(!health.is_degraded());
+        assert_eq!(health.dead_workers(), Vec::<usize>::new());
+        assert_eq!(health.killed, 0);
+        // Workers beat at least every IDLE_POLL; nothing can be stalled by
+        // a generous threshold.
+        assert_eq!(health.stalled(Duration::from_secs(30)), Vec::<usize>::new());
+    }
+
+    /// Poll `pool.health()` until `ok` holds, failing after 10s.
+    fn wait_health(pool: &ThreadPool, what: &str, ok: impl Fn(&PoolHealth) -> bool) -> PoolHealth {
+        let start = Instant::now();
+        loop {
+            let health = pool.health();
+            if ok(&health) {
+                return health;
+            }
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "pool health never reached: {what}; last {health:?}"
+            );
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn chaos_kill_is_healed_by_respawn() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(2)
+            .chaos(ChaosConfig::none().kill(1, 0))
+            .self_heal(SelfHeal::Respawn)
+            .build()
+            .unwrap();
+        // The kill fires at worker 1's first loop top; joins must still
+        // complete (liveness) with correct results.
+        fn sum(pool: &ThreadPool, data: &[u64]) -> u64 {
+            if data.len() <= 4 {
+                return data.iter().sum();
+            }
+            let (lo, hi) = data.split_at(data.len() / 2);
+            let (a, b) = pool.join(|| sum(pool, lo), || sum(pool, hi));
+            a + b
+        }
+        let data: Vec<u64> = (0..512).collect();
+        assert_eq!(pool.install(|| sum(&pool, &data)), 511 * 512 / 2);
+        let health = wait_health(&pool, "respawned back to 2 alive", |h| {
+            h.alive_workers == 2 && h.killed == 1
+        });
+        assert!(health.respawned >= 1);
+        assert!(!health.is_degraded());
+        let stats = pool.stats();
+        assert_eq!(stats.killed, 1);
+        assert!(stats.respawned >= 1);
+        // Still fully usable afterwards (and Drop reaps the respawned
+        // thread without hanging).
+        assert_eq!(pool.join(|| 1, || 2), (1, 2));
+    }
+
+    #[test]
+    fn chaos_kill_degrades_without_stranding_work() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(2)
+            .chaos(ChaosConfig::none().kill(1, 0))
+            .self_heal(SelfHeal::Degrade)
+            .build()
+            .unwrap();
+        fn sum(pool: &ThreadPool, data: &[u64]) -> u64 {
+            if data.len() <= 4 {
+                return data.iter().sum();
+            }
+            let (lo, hi) = data.split_at(data.len() / 2);
+            let (a, b) = pool.join(|| sum(pool, lo), || sum(pool, hi));
+            a + b
+        }
+        let data: Vec<u64> = (0..512).collect();
+        assert_eq!(pool.install(|| sum(&pool, &data)), 511 * 512 / 2);
+        let health = wait_health(&pool, "degraded to 1 alive", |h| {
+            h.alive_workers == 1 && h.killed == 1
+        });
+        assert!(health.is_degraded());
+        assert_eq!(health.dead_workers(), vec![1]);
+        assert_eq!(health.respawned, 0);
+        // The surviving worker keeps serving.
+        assert_eq!(pool.join(|| 1, || 2), (1, 2));
+    }
+
+    #[test]
+    fn fully_dead_degraded_pool_falls_back_to_caller_execution() {
+        // p = 1, the only worker killed, no respawn: the external caller
+        // must complete the join itself instead of parking forever.
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .chaos(ChaosConfig::none().kill(0, 0))
+            .self_heal(SelfHeal::Degrade)
+            .build()
+            .unwrap();
+        wait_health(&pool, "the only worker dead", |h| h.alive_workers == 0);
+        assert_eq!(pool.join(|| 1, || 2), (1, 2));
+        assert_eq!(pool.install(|| 7), 7);
+        let counter = AtomicUsize::new(0);
+        pool.in_place_scope(|s| {
+            for _ in 0..16 {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+        let health = pool.health();
+        assert_eq!(health.alive_workers, 0);
+        assert_eq!(health.killed, 1);
+    }
+
+    #[test]
+    fn dropped_wakeup_costs_latency_not_liveness() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(2)
+            .chaos(ChaosConfig::none().drop_wakeup(1).delay_wakeup(2))
+            .build()
+            .unwrap();
+        fn fanout(pool: &ThreadPool, depth: usize) {
+            if depth == 0 {
+                return;
+            }
+            pool.join(|| fanout(pool, depth - 1), || fanout(pool, depth - 1));
+        }
+        pool.install(|| fanout(&pool, 9)); // 511 forks
+        let stats = pool.stats();
+        assert_eq!(stats.stolen + stats.inlined, 511);
+        // Whether the nth deliberate wake-up occurred depends on the
+        // schedule, but each fault fires at most once.
+        assert!(stats.dropped_wakeups <= 1);
+        assert!(stats.delayed_wakeups <= 1);
+    }
+
+    #[test]
+    fn forced_steal_retries_are_counted() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(2)
+            .chaos(ChaosConfig::none().force_steal_retries(2))
+            .build()
+            .unwrap();
+        fn fanout(pool: &ThreadPool, depth: usize) {
+            if depth == 0 {
+                return;
+            }
+            pool.join(|| fanout(pool, depth - 1), || fanout(pool, depth - 1));
+        }
+        pool.install(|| fanout(&pool, 8));
+        let stats = pool.stats();
+        assert_eq!(stats.stolen + stats.inlined, 255);
+        // Every steal attempt (idle workers make plenty) paid the retries.
+        assert!(stats.forced_steal_retries > 0);
+    }
+
+    #[test]
+    fn seeded_chaos_pool_completes_fork_trees_exactly() {
+        // The acceptance shape: a full seeded fault mix (kill + wake-up
+        // faults + steal retries) and the pool still completes the tree
+        // with exact fork accounting.
+        for seed in [7u64, 19, 42] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(3)
+                .chaos(ChaosConfig::seeded(seed, 3))
+                .self_heal(SelfHeal::Respawn)
+                .build()
+                .unwrap();
+            fn fanout(pool: &ThreadPool, depth: usize) -> u64 {
+                if depth == 0 {
+                    return 1;
+                }
+                let (a, b) = pool.join(|| fanout(pool, depth - 1), || fanout(pool, depth - 1));
+                a + b
+            }
+            assert_eq!(pool.install(|| fanout(&pool, 9)), 512, "seed {seed}");
+            let stats = pool.stats();
+            assert_eq!(stats.stolen + stats.inlined, 511, "seed {seed}");
+        }
     }
 }
